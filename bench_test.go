@@ -1,0 +1,356 @@
+package whisper
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench runs the corresponding experiment driver at a reduced scale and
+// reports the headline metric via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the shape of every reported result. The cmd/experiments
+// binary runs the same drivers at full scale and prints the complete
+// row/series tables.
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/experiments"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+// benchOptions is the reduced-scale configuration for benchmarks: three
+// representative applications (hard, middle, easy) over a small window.
+func benchOptions() experiments.Options {
+	opt := experiments.Default()
+	opt.Records = 80000
+	opt.Apps = []*workload.App{
+		workload.DataCenterApp("mysql"),
+		workload.DataCenterApp("drupal"),
+		workload.DataCenterApp("kafka"),
+	}
+	return opt
+}
+
+func BenchmarkTableIApplications(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.TableI()
+		if len(t.Rows) != 12 {
+			b.Fatal("table I incomplete")
+		}
+	}
+}
+
+func BenchmarkTableIISimulator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TableII(experiments.Default())
+	}
+}
+
+func BenchmarkTableIIIParameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TableIII(experiments.Default())
+	}
+}
+
+func BenchmarkFig01LimitStudy(b *testing.B) {
+	opt := benchOptions()
+	var last *experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(mean(last.Total)*100, "ideal-speedup-%")
+	b.ReportMetric(mean(last.MispStall)*100, "misp-stall-%")
+	b.ReportMetric(mean(last.FrontendStall)*100, "frontend-stall-%")
+}
+
+func BenchmarkFig02MPKI(b *testing.B) {
+	opt := benchOptions()
+	var last *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(mean(last.MPKI), "avg-MPKI")
+}
+
+func BenchmarkFig03Classes(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var capacity float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		capacity = r.Fractions[0][1]
+	}
+	b.ReportMetric(capacity*100, "capacity-%")
+}
+
+func BenchmarkFig04PriorWork(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var c *experiments.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		c, err = experiments.Fig4(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(c.AvgReduction(experiments.Tech8bROMBF)*100, "8b-rombf-red-%")
+	b.ReportMetric(c.AvgReduction(experiments.TechBranchNetUnl)*100, "unl-branchnet-red-%")
+}
+
+func BenchmarkFig05CDF(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = []*workload.App{
+		workload.DataCenterApp("mysql"),
+		workload.SpecApps()[0],
+	}
+	var r *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig5(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Top50Share[0]*100, "dc-top50-%")
+	b.ReportMetric(r.Top50Share[1]*100, "spec-top50-%")
+}
+
+func BenchmarkFig06HistLen(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var beyond float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		beyond = 0
+		for bi, bk := range experiments.Fig6Buckets {
+			if bk.Min >= 33 {
+				beyond += r.Shares[0][bi]
+			}
+		}
+	}
+	b.ReportMetric(beyond*100, "needs->32-history-%")
+}
+
+func BenchmarkFig07Ops(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var and float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		and = r.Shares[0][0]
+	}
+	b.ReportMetric(and*100, "and-share-%")
+}
+
+func BenchmarkFig12Speedup(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var c *experiments.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		c, err = experiments.RunComparison(opt, []experiments.Technique{
+			experiments.TechWhisper, experiments.TechMTAGE, experiments.TechIdeal,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(c.AvgSpeedup(experiments.TechWhisper)*100, "whisper-speedup-%")
+	b.ReportMetric(c.AvgSpeedup(experiments.TechIdeal)*100, "ideal-speedup-%")
+}
+
+func BenchmarkFig13Reduction(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var c *experiments.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		c, err = experiments.RunComparison(opt, []experiments.Technique{
+			experiments.Tech8bROMBF, experiments.TechWhisper,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(c.AvgReduction(experiments.TechWhisper)*100, "whisper-red-%")
+	b.ReportMetric(c.AvgReduction(experiments.Tech8bROMBF)*100, "8b-rombf-red-%")
+}
+
+func BenchmarkFig14Ablation(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var r *experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig14(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mean(r.HashedHistory)*100, "hashed-history-pp")
+	b.ReportMetric(mean(r.ImplCnimpl)*100, "impl-cnimpl-pp")
+}
+
+func BenchmarkFig15Randomized(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var r *experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig15(opt, []float64{0.001, 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Reduction[0]*100, "red@0.1%-%")
+	b.ReportMetric(r.Reduction[1]*100, "red@5%-%")
+}
+
+func BenchmarkFig16TrainTime(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var c *experiments.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		c, err = experiments.RunComparison(opt, []experiments.Technique{
+			experiments.Tech8bROMBF, experiments.TechBranchNetUnl, experiments.TechWhisper,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(c.TrainTime[experiments.TechWhisper].Seconds(), "whisper-train-s")
+	b.ReportMetric(c.TrainTime[experiments.TechBranchNetUnl].Seconds(), "branchnet-train-s")
+}
+
+func BenchmarkFig17Inputs(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var r *experiments.Fig17Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig17(opt, []int{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.CrossInput[0][0]*100, "cross-input-red-%")
+	b.ReportMetric(r.SameInput[0][0]*100, "same-input-red-%")
+}
+
+func BenchmarkFig18Merged(b *testing.B) {
+	opt := benchOptions()
+	opt.Records = 50000
+	opt.Apps = opt.Apps[:1]
+	var r *experiments.Fig18Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig18(opt, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	wh := r.Reduction[experiments.TechWhisper]
+	b.ReportMetric(wh[0]*100, "1-input-red-%")
+	b.ReportMetric(wh[len(wh)-1]*100, "merged-red-%")
+}
+
+func BenchmarkFig19Overhead(b *testing.B) {
+	opt := benchOptions()
+	var r *experiments.Fig19Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig19(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mean(r.Static)*100, "static-overhead-%")
+	b.ReportMetric(mean(r.Dynamic)*100, "dynamic-overhead-%")
+}
+
+func BenchmarkFig20Large(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var r *experiments.Fig20Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig20(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mean(r.Reduction)*100, "red-vs-128KB-%")
+}
+
+func BenchmarkFig21Sizes(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var r *experiments.Fig21Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig21(opt, []int{8, 64, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Reduction[0]*100, "red@8KB-%")
+	b.ReportMetric(r.Reduction[len(r.Reduction)-1]*100, "red@1MB-%")
+}
+
+func BenchmarkFig22Warmup(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var r *experiments.Fig22Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig22(opt, []float64{0, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Reduction[0]*100, "red@0%-warmup-%")
+	b.ReportMetric(r.Reduction[1]*100, "red@50%-warmup-%")
+}
+
+func BenchmarkFig23Length(b *testing.B) {
+	opt := benchOptions()
+	opt.Apps = opt.Apps[:1]
+	var r *experiments.Fig23Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig23(opt, []int{40000, 80000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Reduction[len(r.Reduction)-1]*100, "red@longest-%")
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

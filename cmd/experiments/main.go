@@ -1,0 +1,262 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation at a configurable scale.
+//
+// Usage:
+//
+//	experiments [-scale tiny|small|full] [-records N] [-only fig13,fig12]
+//	            [-apps mysql,kafka] [-csv]
+//
+// Without -only it runs the complete suite in paper order. Results print
+// as aligned text tables (or CSV with -csv); EXPERIMENTS.md records the
+// paper-vs-measured comparison for a small-scale run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/whisper-sim/whisper/internal/experiments"
+	"github.com/whisper-sim/whisper/internal/plot"
+	"github.com/whisper-sim/whisper/internal/stats"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "workload scale: tiny, small, or full")
+	recordsFlag := flag.Int("records", 0, "override per-app record count")
+	onlyFlag := flag.String("only", "", "comma-separated experiment ids (e.g. fig13,table1)")
+	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 12)")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	plotFlag := flag.Bool("plot", false, "render numeric columns as ASCII bar charts")
+	flag.Parse()
+
+	opt := experiments.Default()
+	switch *scaleFlag {
+	case "tiny":
+		opt.Scale = workload.ScaleTiny
+	case "small":
+		opt.Scale = workload.ScaleSmall
+	case "full":
+		opt.Scale = workload.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *recordsFlag > 0 {
+		opt.Records = *recordsFlag
+	}
+	if *appsFlag != "" {
+		var apps []*workload.App
+		for _, name := range strings.Split(*appsFlag, ",") {
+			app := workload.DataCenterApp(strings.TrimSpace(name))
+			if app == nil {
+				fmt.Fprintf(os.Stderr, "unknown app %q\n", name)
+				os.Exit(2)
+			}
+			apps = append(apps, app)
+		}
+		opt.Apps = apps
+	}
+
+	only := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			only[strings.ToLower(strings.TrimSpace(id))] = true
+		}
+	}
+	run := func(id string) bool { return len(only) == 0 || only[id] }
+
+	emit := func(t *stats.Table) {
+		switch {
+		case *csvFlag:
+			fmt.Print(t.Title + "\n" + t.CSV() + "\n")
+		case *plotFlag:
+			fmt.Println(plot.Render(t, 48))
+		default:
+			fmt.Println(t.String())
+		}
+	}
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+		os.Exit(1)
+	}
+	timed := func(id string, f func() (*stats.Table, error)) {
+		if !run(id) {
+			return
+		}
+		start := time.Now()
+		t, err := f()
+		if err != nil {
+			fail(id, err)
+		}
+		emit(t)
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	timed("table1", func() (*stats.Table, error) { return experiments.TableI(), nil })
+	timed("table2", func() (*stats.Table, error) { return experiments.TableII(opt), nil })
+	timed("table3", func() (*stats.Table, error) { return experiments.TableIII(opt), nil })
+
+	timed("fig1", func() (*stats.Table, error) {
+		r, err := experiments.Fig1(opt)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig2", func() (*stats.Table, error) {
+		r, err := experiments.Fig2(opt)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig3", func() (*stats.Table, error) {
+		r, err := experiments.Fig3(opt)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig4", func() (*stats.Table, error) {
+		c, err := experiments.Fig4(opt)
+		if err != nil {
+			return nil, err
+		}
+		return c.ReductionTable("Fig 4: misprediction reduction of prior profile-guided techniques (%)"), nil
+	})
+	timed("fig5", func() (*stats.Table, error) {
+		r, err := experiments.Fig5(opt)
+		if err != nil {
+			return nil, err
+		}
+		t := r.Table()
+		t.Title = "Fig 5b: " + t.Title
+		return t, nil
+	})
+	timed("fig5spec", func() (*stats.Table, error) {
+		sopt := opt
+		sopt.Apps = workload.SpecApps()
+		r, err := experiments.Fig5(sopt)
+		if err != nil {
+			return nil, err
+		}
+		t := r.Table()
+		t.Title = "Fig 5a: " + t.Title
+		return t, nil
+	})
+	timed("fig6", func() (*stats.Table, error) {
+		r, err := experiments.Fig6(opt)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig7", func() (*stats.Table, error) {
+		r, err := experiments.Fig7(opt)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+
+	// Figures 12, 13 and 16 share one comparison run.
+	if run("fig12") || run("fig13") || run("fig16") {
+		start := time.Now()
+		c, err := experiments.Fig12and13(opt)
+		if err != nil {
+			fail("fig12/13/16", err)
+		}
+		if run("fig12") {
+			emit(c.SpeedupTable("Fig 12: speedup over 64KB TAGE-SC-L (%)"))
+		}
+		if run("fig13") {
+			emit(c.ReductionTable("Fig 13: misprediction reduction over 64KB TAGE-SC-L (%)"))
+		}
+		if run("fig16") {
+			emit(c.TrainTimeTable())
+		}
+		fmt.Printf("[fig12/13/16 completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	timed("fig14", func() (*stats.Table, error) {
+		r, err := experiments.Fig14(opt)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig15", func() (*stats.Table, error) {
+		r, err := experiments.Fig15(opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig17", func() (*stats.Table, error) {
+		r, err := experiments.Fig17(opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig18", func() (*stats.Table, error) {
+		r, err := experiments.Fig18(opt, 5)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig19", func() (*stats.Table, error) {
+		r, err := experiments.Fig19(opt)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig20", func() (*stats.Table, error) {
+		r, err := experiments.Fig20(opt)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig21", func() (*stats.Table, error) {
+		r, err := experiments.Fig21(opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig22", func() (*stats.Table, error) {
+		r, err := experiments.Fig22(opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("fig23", func() (*stats.Table, error) {
+		r, err := experiments.Fig23(opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("buffersweep", func() (*stats.Table, error) {
+		r, err := experiments.BufferSweep(opt, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+	timed("ablations", func() (*stats.Table, error) {
+		r, err := experiments.Ablations(opt)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+}

@@ -1,0 +1,187 @@
+// Command whisper drives the paper's usage model (Fig 10) step by step on
+// one application: trace export, in-production profiling, offline branch
+// analysis, link-time hint injection, and simulation of the updated
+// binary.
+//
+// Usage:
+//
+//	whisper -app mysql [-records 400000] [-input 0] [-test-input 1]
+//	        [-explore 0.05] [-trace out.wbt] [-hints] [-v]
+//
+// With -trace the tool additionally writes the application's branch trace
+// in the compact binary format (a stand-in for a decoded Intel PT file).
+// With -hints it dumps the trained brhint program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/whisper-sim/whisper/internal/core"
+	"github.com/whisper-sim/whisper/internal/hint"
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/sim"
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+func main() {
+	appFlag := flag.String("app", "mysql", "application name (see Table I) or 'list'")
+	recordsFlag := flag.Int("records", 400000, "records per window")
+	inputFlag := flag.Int("input", 0, "training input")
+	testFlag := flag.Int("test-input", 1, "evaluation input")
+	exploreFlag := flag.Float64("explore", 0.05, "fraction of formulas explored (>=1 is exhaustive)")
+	traceFlag := flag.String("trace", "", "write the training trace to this file")
+	fromTraceFlag := flag.String("from-trace", "", "simulate the baseline over a previously exported trace file and exit")
+	hintsFlag := flag.Bool("hints", false, "dump the injected brhint program")
+	warmFlag := flag.Float64("warmup", 0.3, "warm-up fraction of the measured window")
+	flag.Parse()
+
+	if *fromTraceFlag != "" {
+		if err := simulateTrace(*fromTraceFlag, *warmFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "trace simulation: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *appFlag == "list" {
+		for _, spec := range workload.DataCenterSpecs() {
+			fmt.Printf("%-16s %s\n", spec.Config.Name, spec.Workload)
+		}
+		return
+	}
+	app := workload.DataCenterApp(*appFlag)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "unknown app %q (try -app list)\n", *appFlag)
+		os.Exit(2)
+	}
+
+	if *traceFlag != "" {
+		if err := exportTrace(app, *inputFlag, *recordsFlag, *traceFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", *recordsFlag, *traceFlag)
+	}
+
+	fmt.Printf("== %s: profiling input #%d (%d records) ==\n", app.Name(), *inputFlag, *recordsFlag)
+	bopt := sim.DefaultBuildOptions()
+	bopt.TrainInput = *inputFlag
+	bopt.Records = *recordsFlag
+	bopt.Params.ExploreFraction = *exploreFlag
+	b, err := sim.BuildWhisper(app, bopt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "build: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("profile: %d instructions, %d conditional executions, baseline MPKI %.2f\n",
+		b.Profile.Instrs, b.Profile.CondExecs, b.Profile.MPKI())
+	fmt.Printf("analysis: %d hard branches, %d hints trained in %v (%d formula scorings)\n",
+		len(b.Profile.Hard), len(b.Train.Hints), b.Train.Duration.Round(1e6), b.Train.FormulaEvals)
+	fmt.Printf("injection: %d hints placed, %d dropped (12-bit pointer range), static +%.1f%%, dynamic +%.1f%%\n",
+		b.Binary.Placed, b.Binary.Dropped,
+		b.Binary.StaticOverhead()*100, b.Binary.DynamicOverhead()*100)
+
+	if *hintsFlag {
+		dumpHints(b)
+	}
+
+	popt := pipeline.Options{
+		Config:        pipeline.DefaultConfig(),
+		WarmupRecords: uint64(float64(*recordsFlag) * *warmFlag),
+	}
+	base := sim.RunApp(app, *testFlag, *recordsFlag, sim.Tage64KB(), popt)
+	res, rt := b.RunWhisperWarm(app, *testFlag, *recordsFlag, sim.Tage64KB, popt)
+
+	fmt.Printf("\n== evaluation on input #%d ==\n", *testFlag)
+	fmt.Printf("baseline : IPC %.3f  MPKI %.2f  mispredictions %d\n",
+		base.IPC(), base.MPKI(), base.CondMisp)
+	fmt.Printf("whisper  : IPC %.3f  MPKI %.2f  mispredictions %d\n",
+		res.IPC(), res.MPKI(), res.CondMisp)
+	fmt.Printf("reduction %.1f%%  speedup %.2f%%  (hint buffer hit rate %.2f, %d hint executions)\n",
+		sim.MispReduction(base, res)*100, sim.Speedup(base, res)*100,
+		rt.Buffer().HitRate(), rt.HintExecutions)
+}
+
+// exportTrace writes the training window in the binary trace format.
+func exportTrace(app *workload.App, input, records int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	s := app.Stream(input, records)
+	var rec trace.Record
+	for s.Next(&rec) {
+		if err := w.Write(&rec); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// dumpHints prints the brhint program sorted by host PC.
+func dumpHints(b *sim.WhisperBuild) {
+	type row struct {
+		host uint64
+		ph   core.PlacedHint
+	}
+	var rows []row
+	for host, hs := range b.Binary.ByHost {
+		for _, ph := range hs {
+			rows = append(rows, row{host, ph})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].host < rows[j].host })
+	fmt.Println("\nhost PC    -> branch PC   enc         hint")
+	for _, r := range rows {
+		enc, _ := r.ph.Encoded.Encode()
+		desc := "formula " + r.ph.Hint.Formula.String()
+		switch r.ph.Encoded.Bias {
+		case hint.BiasTaken:
+			desc = "always-taken"
+		case hint.BiasNotTaken:
+			desc = "never-taken"
+		default:
+			desc = fmt.Sprintf("L=%d %s", b.Train.Lengths[r.ph.Hint.LengthIdx], desc)
+		}
+		fmt.Printf("%#08x -> %#08x  %#09x  %s\n", r.host, r.ph.Hint.PC, enc, desc)
+	}
+}
+
+// simulateTrace replays a binary trace file through the baseline machine
+// model — the "decoded Intel PT file" input path.
+func simulateTrace(path string, warmFrac float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	// The pipeline consumes the stream once; warm-up needs the record
+	// count, so buffer the records (trace files are modest).
+	recs := trace.Collect(r, 0)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	res := pipeline.Run(trace.NewSliceStream(recs), sim.Tage64KB(), pipeline.Options{
+		Config:        pipeline.DefaultConfig(),
+		WarmupRecords: uint64(float64(len(recs)) * warmFrac),
+	})
+	fmt.Printf("trace %s: %d records, %d instructions\n", path, len(recs), trace.CountInstructions(recs))
+	fmt.Printf("baseline: IPC %.3f  MPKI %.2f  cond execs %d  mispredictions %d\n",
+		res.IPC(), res.MPKI(), res.CondExecs, res.CondMisp)
+	fmt.Printf("cycles: base %d  squash %d  frontend %d\n",
+		res.BaseCycles, res.SquashCycles, res.FrontendCycles)
+	return nil
+}

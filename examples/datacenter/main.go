@@ -1,0 +1,40 @@
+// Datacenter: the paper's headline evaluation in miniature — optimize all
+// 12 Table I applications with Whisper, evaluate each on an unseen input,
+// and print per-app baseline MPKI, misprediction reduction, and speedup
+// (the shape of the paper's Figs 2, 12 and 13).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	whisper "github.com/whisper-sim/whisper"
+)
+
+func main() {
+	records := flag.Int("records", 300_000, "records per application window")
+	flag.Parse()
+
+	fmt.Printf("%-16s %12s %12s %10s %8s\n",
+		"application", "base MPKI", "whisper MPKI", "reduction", "speedup")
+	var sumRed, sumSp float64
+	apps := whisper.Apps()
+	for _, app := range apps {
+		opt := whisper.DefaultBuildOptions()
+		opt.Records = *records
+		build, err := whisper.Optimize(app, opt)
+		if err != nil {
+			log.Fatalf("%s: %v", app.Name(), err)
+		}
+		ev := whisper.Evaluate(build, app, 1, *records, 0.3)
+		fmt.Printf("%-16s %12.2f %12.2f %9.1f%% %7.2f%%\n",
+			app.Name(), ev.Baseline.MPKI(), ev.Whisper.MPKI(),
+			ev.Reduction()*100, ev.Speedup()*100)
+		sumRed += ev.Reduction()
+		sumSp += ev.Speedup()
+	}
+	n := float64(len(apps))
+	fmt.Printf("%-16s %12s %12s %9.1f%% %7.2f%%\n", "Avg", "", "",
+		sumRed/n*100, sumSp/n*100)
+}

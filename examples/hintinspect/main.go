@@ -1,0 +1,76 @@
+// Hintinspect: look inside a Whisper optimization — which branches got
+// hints, which history lengths and Boolean formulas were learned, and how
+// the 33-bit brhint instructions encode them (paper Fig 11 / §III).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	whisper "github.com/whisper-sim/whisper"
+)
+
+func main() {
+	appName := flag.String("app", "postgres", "application to inspect")
+	records := flag.Int("records", 200_000, "profiled records")
+	top := flag.Int("top", 15, "hints to print")
+	flag.Parse()
+
+	app := whisper.AppByName(*appName)
+	if app == nil {
+		log.Fatalf("unknown app %q", *appName)
+	}
+	opt := whisper.DefaultBuildOptions()
+	opt.Records = *records
+	build, err := whisper.Optimize(app, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d hard branches profiled, %d hints trained, %d placed\n\n",
+		app.Name(), len(build.Profile.Hard), len(build.Train.Hints), build.Binary.Placed)
+
+	// Sort hints by how many baseline mispredictions they remove.
+	type row struct {
+		pc   uint64
+		gain uint64
+	}
+	var rows []row
+	for pc, h := range build.Train.Hints {
+		rows = append(rows, row{pc, h.BaselineMisp - h.ProfiledMisp})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].gain > rows[j].gain })
+	if len(rows) > *top {
+		rows = rows[:*top]
+	}
+
+	fmt.Printf("%-10s %-10s %-7s %-9s %s\n", "branch", "saves", "length", "kind", "formula")
+	for _, r := range rows {
+		h := build.Train.Hints[r.pc]
+		kind, form, length := "formula", h.Formula.String(), ""
+		switch h.Bias {
+		case 1:
+			kind, form = "always", "-"
+		case 2:
+			kind, form = "never", "-"
+		default:
+			length = fmt.Sprintf("%d", build.Train.Lengths[h.LengthIdx])
+		}
+		fmt.Printf("%#08x %-10d %-7s %-9s %s\n", r.pc, r.gain, length, kind, form)
+	}
+
+	// Show one encoded brhint, field by field.
+	for host, hs := range build.Binary.ByHost {
+		ph := hs[0]
+		enc, _ := ph.Encoded.Encode()
+		fmt.Printf("\nexample brhint @ host %#x -> branch %#x\n", host, ph.Hint.PC)
+		fmt.Printf("  encoding: %#010x (33 bits)\n", enc)
+		fmt.Printf("  history index: %d   formula: %#06x   bias: %d   offset: %+d bytes\n",
+			ph.Encoded.HistIdx, uint16(ph.Encoded.Formula), ph.Encoded.Bias, ph.Encoded.Offset)
+		fmt.Printf("  placement precision %.2f, recall %.2f (conditional-probability correlation)\n",
+			ph.Placement.Precision, ph.Placement.Recall)
+		break
+	}
+}

@@ -1,0 +1,33 @@
+// Quickstart: optimize one data center application with Whisper and
+// compare the updated binary against the 64KB TAGE-SC-L baseline on a
+// different workload input — the paper's core usage model in ~30 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	whisper "github.com/whisper-sim/whisper"
+)
+
+func main() {
+	// 1. Pick an application from the paper's Table I catalog.
+	app := whisper.AppByName("mysql")
+
+	// 2. Profile it "in production" (input #0) and train hints offline.
+	opt := whisper.DefaultBuildOptions()
+	opt.Records = 200_000
+	build, err := whisper.Optimize(app, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d hints, placed %d into the binary (+%.1f%% static instructions)\n",
+		len(build.Train.Hints), build.Binary.Placed, build.Binary.StaticOverhead()*100)
+
+	// 3. Deploy: evaluate on a different input (#1), as the paper does.
+	ev := whisper.Evaluate(build, app, 1, 200_000, 0.3)
+	fmt.Printf("baseline: IPC %.3f, branch-MPKI %.2f\n", ev.Baseline.IPC(), ev.Baseline.MPKI())
+	fmt.Printf("whisper : IPC %.3f, branch-MPKI %.2f\n", ev.Whisper.IPC(), ev.Whisper.MPKI())
+	fmt.Printf("==> %.1f%% fewer mispredictions, %.2f%% speedup\n",
+		ev.Reduction()*100, ev.Speedup()*100)
+}

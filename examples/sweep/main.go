@@ -1,0 +1,54 @@
+// Sweep: sensitivity of Whisper's gains to the baseline predictor budget
+// (paper Fig 21) and to the randomized-formula-testing exploration
+// fraction (paper Fig 15), on one application.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	whisper "github.com/whisper-sim/whisper"
+)
+
+func main() {
+	appName := flag.String("app", "clang", "application to sweep")
+	records := flag.Int("records", 200_000, "records per window")
+	flag.Parse()
+
+	app := whisper.AppByName(*appName)
+	if app == nil {
+		log.Fatalf("unknown app %q", *appName)
+	}
+
+	fmt.Println("== baseline predictor size sweep (Fig 21) ==")
+	for _, kb := range []int{8, 32, 64, 256, 1024} {
+		kb := kb
+		baseline := func() whisper.Predictor { return whisper.NewTageSCL(kb) }
+		opt := whisper.DefaultBuildOptions()
+		opt.Records = *records
+		opt.Baseline = baseline
+		build, err := whisper.Optimize(app, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev := whisper.EvaluateWith(build, app, 1, *records, 0.3, baseline)
+		fmt.Printf("  %5dKB baseline: MPKI %.2f, whisper reduction %.1f%%\n",
+			kb, ev.Baseline.MPKI(), ev.Reduction()*100)
+	}
+
+	fmt.Println("\n== randomized formula testing sweep (Fig 15) ==")
+	for _, frac := range []float64{0.001, 0.01, 0.05, 1.0} {
+		opt := whisper.DefaultBuildOptions()
+		opt.Records = *records
+		opt.Params.ExploreFraction = frac
+		build, err := whisper.Optimize(app, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev := whisper.Evaluate(build, app, 1, *records, 0.3)
+		fmt.Printf("  explore %5.1f%%: %3d hints, reduction %5.1f%%, training %v\n",
+			frac*100, len(build.Train.Hints), ev.Reduction()*100,
+			build.Train.Duration.Round(1e6))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/whisper-sim/whisper
+
+go 1.22

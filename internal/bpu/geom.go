@@ -1,0 +1,43 @@
+package bpu
+
+import "math"
+
+// Whisper's hashed-history correlation parameters (paper Table III).
+const (
+	// GeomMin is the minimum history length a.
+	GeomMin = 8
+	// GeomMax is the maximum history length N.
+	GeomMax = 1024
+	// GeomCount is the number of different history lengths m.
+	GeomCount = 16
+)
+
+// GeomLengths returns the m history lengths of the geometric series
+// a, a*r, a*r^2, ..., with r = (N/a)^(1/(m-1)) (paper §III-A). Terms are
+// rounded to the nearest integer, deduplicated upward, and the last term
+// is exactly N.
+func GeomLengths(a, n, m int) []int {
+	if a < 1 || n < a || m < 2 {
+		panic("bpu: invalid geometric series parameters")
+	}
+	r := math.Pow(float64(n)/float64(a), 1/float64(m-1))
+	out := make([]int, 0, m)
+	prev := 0
+	for i := 0; i < m; i++ {
+		v := int(math.Round(float64(a) * math.Pow(r, float64(i))))
+		if v <= prev {
+			v = prev + 1
+		}
+		if v > n {
+			v = n
+		}
+		out = append(out, v)
+		prev = v
+	}
+	out[m-1] = n
+	return out
+}
+
+// DefaultGeomLengths is the Table III series: 16 lengths from 8 to 1024.
+// The slice must not be mutated.
+var DefaultGeomLengths = GeomLengths(GeomMin, GeomMax, GeomCount)

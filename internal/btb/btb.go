@@ -1,0 +1,262 @@
+// Package btb models the branch-target side of the frontend: a
+// set-associative Branch Target Buffer, a Return Address Stack, and an
+// indirect-target BTB, sized per the paper's Table II (8192-entry 4-way
+// BTB, 32-entry RAS, 4096-entry IBTB).
+package btb
+
+import (
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+type BTB struct {
+	ways    int
+	setBits uint
+	setMask uint64
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+	lru     []uint8
+
+	lookups uint64
+	misses  uint64
+}
+
+// NewBTB creates a BTB with the given total entries and associativity.
+// entries/ways must be a power of two.
+func NewBTB(entries, ways int) *BTB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("btb: invalid geometry")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("btb: sets not a power of two")
+	}
+	setBits := uint(0)
+	for s := sets; s > 1; s >>= 1 {
+		setBits++
+	}
+	return &BTB{
+		ways:    ways,
+		setBits: setBits,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, entries),
+		targets: make([]uint64, entries),
+		valid:   make([]bool, entries),
+		lru:     make([]uint8, entries),
+	}
+}
+
+func (b *BTB) setOf(pc uint64) (int, uint64) {
+	idx := (pc >> 2) & b.setMask
+	tag := pc >> 2 >> b.setBits
+	return int(idx) * b.ways, tag
+}
+
+// Lookup returns the predicted target for pc, with ok=false on a BTB miss.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	b.lookups++
+	base, tag := b.setOf(pc)
+	for w := 0; w < b.ways; w++ {
+		if b.valid[base+w] && b.tags[base+w] == tag {
+			b.touch(base, w)
+			return b.targets[base+w], true
+		}
+	}
+	b.misses++
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	base, tag := b.setOf(pc)
+	for w := 0; w < b.ways; w++ {
+		if b.valid[base+w] && b.tags[base+w] == tag {
+			b.targets[base+w] = target
+			b.touch(base, w)
+			return
+		}
+	}
+	victim := 0
+	for w := 0; w < b.ways; w++ {
+		if !b.valid[base+w] {
+			victim = w
+			break
+		}
+		if b.lru[base+w] < b.lru[base+victim] {
+			victim = w
+		}
+	}
+	b.valid[base+victim] = true
+	b.tags[base+victim] = tag
+	b.targets[base+victim] = target
+	b.touch(base, victim)
+}
+
+func (b *BTB) touch(base, w int) {
+	old := b.lru[base+w]
+	for i := 0; i < b.ways; i++ {
+		if b.lru[base+i] > old {
+			b.lru[base+i]--
+		}
+	}
+	b.lru[base+w] = uint8(b.ways - 1)
+}
+
+// Lookups returns the number of Lookup calls.
+func (b *BTB) Lookups() uint64 { return b.lookups }
+
+// Misses returns the number of failed lookups.
+func (b *BTB) Misses() uint64 { return b.misses }
+
+// MissRate returns misses/lookups.
+func (b *BTB) MissRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.misses) / float64(b.lookups)
+}
+
+// RAS is a fixed-depth return address stack with wrap-around overwrite,
+// matching hardware behaviour on overflow.
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+}
+
+// NewRAS creates a RAS with the given number of entries.
+func NewRAS(entries int) *RAS {
+	if entries <= 0 {
+		panic("btb: RAS entries must be positive")
+	}
+	return &RAS{stack: make([]uint64, entries)}
+}
+
+// Push records a return address (on a call).
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return; ok=false when the stack has
+// underflowed (the prediction would be garbage).
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr = r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return addr, true
+}
+
+// Depth returns the current number of live entries.
+func (r *RAS) Depth() int { return r.depth }
+
+// IBTB predicts indirect-branch targets, indexed by PC hashed with a
+// short path signature the caller maintains.
+type IBTB struct {
+	entries map[uint64]uint64
+	max     int
+
+	lookups uint64
+	misses  uint64
+}
+
+// NewIBTB creates an IBTB bounded to max entries (random-ish eviction by
+// map iteration order is intentionally avoided: we clear the oldest via a
+// simple clock of insertion order).
+func NewIBTB(max int) *IBTB {
+	if max <= 0 {
+		panic("btb: IBTB max must be positive")
+	}
+	return &IBTB{entries: make(map[uint64]uint64, max), max: max}
+}
+
+// Lookup predicts the target for the hashed index.
+func (i *IBTB) Lookup(idx uint64) (uint64, bool) {
+	i.lookups++
+	t, ok := i.entries[idx]
+	if !ok {
+		i.misses++
+	}
+	return t, ok
+}
+
+// Update installs the resolved target. When full, the map is halved by
+// dropping arbitrary entries — a coarse but deterministic-capacity model.
+func (i *IBTB) Update(idx, target uint64) {
+	if len(i.entries) >= i.max {
+		n := 0
+		for k := range i.entries {
+			delete(i.entries, k)
+			n++
+			if n >= i.max/2 {
+				break
+			}
+		}
+	}
+	i.entries[idx] = target
+}
+
+// MissRate returns the fraction of failed lookups.
+func (i *IBTB) MissRate() float64 {
+	if i.lookups == 0 {
+		return 0
+	}
+	return float64(i.misses) / float64(i.lookups)
+}
+
+// Frontend bundles the Table II target-prediction structures and scores a
+// record stream's target predictability.
+type Frontend struct {
+	BTB  *BTB
+	RAS  *RAS
+	IBTB *IBTB
+
+	pathSig uint64
+}
+
+// NewFrontend builds the Table II configuration: 8192-entry 4-way BTB,
+// 32-entry RAS, 4096-entry IBTB.
+func NewFrontend() *Frontend {
+	return &Frontend{
+		BTB:  NewBTB(8192, 4),
+		RAS:  NewRAS(32),
+		IBTB: NewIBTB(4096),
+	}
+}
+
+// PredictTarget returns the frontend's target prediction for a record and
+// whether the structures had a usable entry. It must be followed by
+// UpdateTarget with the same record.
+func (f *Frontend) PredictTarget(rec *trace.Record) (uint64, bool) {
+	switch rec.Kind {
+	case trace.Return:
+		return f.RAS.Pop()
+	case trace.IndirectJump:
+		return f.IBTB.Lookup(rec.PC ^ f.pathSig)
+	default:
+		return f.BTB.Lookup(rec.PC)
+	}
+}
+
+// UpdateTarget trains the structures with the resolved record.
+func (f *Frontend) UpdateTarget(rec *trace.Record) {
+	switch rec.Kind {
+	case trace.Return:
+		// RAS already popped in PredictTarget.
+	case trace.IndirectJump:
+		f.IBTB.Update(rec.PC^f.pathSig, rec.Target)
+		f.pathSig = (f.pathSig << 3) ^ (rec.Target >> 2)
+	case trace.Call:
+		f.BTB.Update(rec.PC, rec.Target)
+		f.RAS.Push(rec.PC + 4)
+	default:
+		f.BTB.Update(rec.PC, rec.Target)
+	}
+}

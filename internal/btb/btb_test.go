@@ -1,0 +1,201 @@
+package btb
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/xrand"
+)
+
+func TestBTBHitMiss(t *testing.T) {
+	b := NewBTB(64, 4)
+	if _, ok := b.Lookup(0x1000); ok {
+		t.Fatal("cold lookup hit")
+	}
+	b.Update(0x1000, 0x2000)
+	tgt, ok := b.Lookup(0x1000)
+	if !ok || tgt != 0x2000 {
+		t.Fatalf("lookup = %#x,%v", tgt, ok)
+	}
+	b.Update(0x1000, 0x3000)
+	tgt, _ = b.Lookup(0x1000)
+	if tgt != 0x3000 {
+		t.Fatalf("target not refreshed: %#x", tgt)
+	}
+	if b.Lookups() != 3 || b.Misses() != 1 {
+		t.Fatalf("lookups=%d misses=%d", b.Lookups(), b.Misses())
+	}
+}
+
+func TestBTBEviction(t *testing.T) {
+	b := NewBTB(8, 2) // 4 sets, 2 ways
+	sets := uint64(4)
+	a := uint64(0x1000)
+	conflict1 := a + sets*4
+	conflict2 := a + 2*sets*4
+	b.Update(a, 1)
+	b.Update(conflict1, 2)
+	b.Lookup(a) // refresh a
+	b.Update(conflict2, 3)
+	if _, ok := b.Lookup(conflict1); ok {
+		t.Fatal("LRU victim not evicted")
+	}
+	if _, ok := b.Lookup(a); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+}
+
+func TestBTBGeometryValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBTB(0, 4) },
+		func() { NewBTB(7, 2) },
+		func() { NewBTB(24, 2) }, // 12 sets
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	for want := uint64(3); want >= 1; want-- {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on empty stack succeeded")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if got, _ := r.Pop(); got != 3 {
+		t.Fatalf("Pop = %d, want 3", got)
+	}
+	if got, _ := r.Pop(); got != 2 {
+		t.Fatalf("Pop = %d, want 2", got)
+	}
+	if r.Depth() != 0 {
+		t.Fatalf("Depth = %d", r.Depth())
+	}
+}
+
+func TestIBTB(t *testing.T) {
+	i := NewIBTB(16)
+	if _, ok := i.Lookup(5); ok {
+		t.Fatal("cold lookup hit")
+	}
+	i.Update(5, 0x9000)
+	if tgt, ok := i.Lookup(5); !ok || tgt != 0x9000 {
+		t.Fatalf("lookup = %#x,%v", tgt, ok)
+	}
+	// Capacity bound: inserting beyond max halves the table.
+	for k := uint64(0); k < 100; k++ {
+		i.Update(k, k)
+	}
+	if len(i.entries) > 16+1 {
+		t.Fatalf("IBTB grew to %d entries", len(i.entries))
+	}
+	if i.MissRate() <= 0 {
+		t.Fatal("miss rate not tracked")
+	}
+}
+
+func TestFrontendCallReturnPairing(t *testing.T) {
+	f := NewFrontend()
+	call := trace.Record{PC: 0x4000, Target: 0x8000, Kind: trace.Call, Taken: true}
+	ret := trace.Record{PC: 0x8040, Target: 0x4004, Kind: trace.Return, Taken: true}
+	f.PredictTarget(&call)
+	f.UpdateTarget(&call)
+	tgt, ok := f.PredictTarget(&ret)
+	if !ok || tgt != 0x4004 {
+		t.Fatalf("return prediction = %#x,%v want 0x4004", tgt, ok)
+	}
+	f.UpdateTarget(&ret)
+}
+
+func TestFrontendIndirect(t *testing.T) {
+	f := NewFrontend()
+	rec := trace.Record{PC: 0x5000, Target: 0x6000, Kind: trace.IndirectJump, Taken: true}
+	if _, ok := f.PredictTarget(&rec); ok {
+		t.Fatal("cold indirect hit")
+	}
+	f.UpdateTarget(&rec)
+	// Same path signature state change means the next lookup uses a new
+	// index; re-train once more along the same path to observe a hit.
+	rec2 := trace.Record{PC: 0x5000, Target: 0x6000, Kind: trace.IndirectJump, Taken: true}
+	f.PredictTarget(&rec2)
+	f.UpdateTarget(&rec2)
+	rec3 := trace.Record{PC: 0x5000, Target: 0x6000, Kind: trace.IndirectJump, Taken: true}
+	tgt, ok := f.PredictTarget(&rec3)
+	_ = tgt
+	_ = ok // path-correlated: presence depends on signature; just no panic
+}
+
+func TestFrontendDirectBranch(t *testing.T) {
+	f := NewFrontend()
+	rec := trace.Record{PC: 0x7000, Target: 0x7100, Kind: trace.CondBranch, Taken: true}
+	if _, ok := f.PredictTarget(&rec); ok {
+		t.Fatal("cold BTB hit")
+	}
+	f.UpdateTarget(&rec)
+	if tgt, ok := f.PredictTarget(&rec); !ok || tgt != 0x7100 {
+		t.Fatalf("BTB prediction = %#x,%v", tgt, ok)
+	}
+}
+
+func TestBTBCapacityPressure(t *testing.T) {
+	b := NewBTB(128, 4)
+	r := xrand.New(1)
+	// Working set of 64 branches fits; 4096 thrashes.
+	fit, thrash := 0.0, 0.0
+	for pass := 0; pass < 2; pass++ {
+		small := NewBTB(128, 4)
+		for i := 0; i < 20000; i++ {
+			pc := 0x1000 + uint64(r.Intn(64))*4
+			if _, ok := small.Lookup(pc); !ok {
+				small.Update(pc, pc+100)
+			}
+		}
+		fit = small.MissRate()
+	}
+	for i := 0; i < 20000; i++ {
+		pc := 0x1000 + uint64(r.Intn(4096))*4
+		if _, ok := b.Lookup(pc); !ok {
+			b.Update(pc, pc+100)
+		}
+	}
+	thrash = b.MissRate()
+	if fit > 0.05 {
+		t.Fatalf("fitting working set missed %v", fit)
+	}
+	if thrash < 0.5 {
+		t.Fatalf("oversized working set hit too often: %v", thrash)
+	}
+}
+
+func BenchmarkBTBLookup(b *testing.B) {
+	btb := NewBTB(8192, 4)
+	r := xrand.New(2)
+	for i := 0; i < 8192; i++ {
+		btb.Update(uint64(r.Intn(1<<20)), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		btb.Lookup(uint64(i) << 2)
+	}
+}

@@ -1,0 +1,229 @@
+// Package cfg reconstructs a dynamic control-flow graph from a retired
+// branch trace and implements the conditional-probability predecessor
+// correlation that Whisper uses to place brhint instructions at link time
+// (paper §IV "hint injection", following the I-SPY/Ripple/Twig line of
+// profile-guided injection).
+//
+// The graph's nodes are control-flow instruction PCs; an edge u→v counts
+// how often v was the next retired control-flow instruction after u.
+// For a branch B, a good hint host is a predecessor P with high
+//
+//	precision = count(P→B) / execs(P)   (hints rarely fire uselessly)
+//	recall    = count(P→B) / execs(B)   (hints usually arrive in time)
+//
+// subject to the brhint PC-pointer range: the 12-bit offset field can only
+// address branches within ±2KB of the hint (paper Fig 11), which is why
+// the paper covers "the vast majority (>80%)" rather than all branches.
+package cfg
+
+import (
+	"sort"
+
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// OffsetRange is the reach of the brhint 12-bit PC pointer in bytes
+// (signed 12-bit offset: ±2KB).
+const OffsetRange = 2048
+
+// Graph is a dynamic CFG with edge and node execution counts.
+type Graph struct {
+	execs map[uint64]uint64            // node -> executions
+	succ  map[uint64]map[uint64]uint64 // u -> v -> count(u→v)
+	pred  map[uint64]map[uint64]uint64 // v -> u -> count(u→v)
+	kinds map[uint64]trace.Kind
+	total uint64
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		execs: make(map[uint64]uint64),
+		succ:  make(map[uint64]map[uint64]uint64),
+		pred:  make(map[uint64]map[uint64]uint64),
+		kinds: make(map[uint64]trace.Kind),
+	}
+}
+
+// Build consumes a stream and returns its dynamic CFG.
+func Build(s trace.Stream) *Graph {
+	g := NewGraph()
+	var rec trace.Record
+	prev := uint64(0)
+	havePrev := false
+	for s.Next(&rec) {
+		g.Add(prev, havePrev, &rec)
+		prev = rec.PC
+		havePrev = true
+	}
+	return g
+}
+
+// Add records one retirement with its dynamic predecessor.
+func (g *Graph) Add(prevPC uint64, havePrev bool, rec *trace.Record) {
+	g.execs[rec.PC]++
+	g.kinds[rec.PC] = rec.Kind
+	g.total++
+	if !havePrev {
+		return
+	}
+	sm := g.succ[prevPC]
+	if sm == nil {
+		sm = make(map[uint64]uint64)
+		g.succ[prevPC] = sm
+	}
+	sm[rec.PC]++
+	pm := g.pred[rec.PC]
+	if pm == nil {
+		pm = make(map[uint64]uint64)
+		g.pred[rec.PC] = pm
+	}
+	pm[prevPC]++
+}
+
+// Execs returns how many times pc retired.
+func (g *Graph) Execs(pc uint64) uint64 { return g.execs[pc] }
+
+// TotalRecords returns the number of records consumed.
+func (g *Graph) TotalRecords() uint64 { return g.total }
+
+// Nodes returns all PCs in ascending order.
+func (g *Graph) Nodes() []uint64 {
+	out := make([]uint64, 0, len(g.execs))
+	for pc := range g.execs {
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgeCount returns count(u→v).
+func (g *Graph) EdgeCount(u, v uint64) uint64 {
+	if m := g.succ[u]; m != nil {
+		return m[v]
+	}
+	return 0
+}
+
+// Placement is a chosen hint host for a branch.
+type Placement struct {
+	// BranchPC is the hinted branch.
+	BranchPC uint64
+	// HostPC is the control-flow instruction after which the brhint
+	// executes.
+	HostPC uint64
+	// Precision and Recall are the correlation scores of the host.
+	Precision, Recall float64
+	// HostExecs is how many times the host retires (each retirement
+	// executes the hint: the dynamic instruction overhead).
+	HostExecs uint64
+}
+
+// PlacementOptions tunes the correlation algorithm.
+type PlacementOptions struct {
+	// MinPrecision and MinRecall reject hosts with weak correlation.
+	MinPrecision, MinRecall float64
+	// MaxOffset restricts the host-to-branch distance in bytes
+	// (default OffsetRange).
+	MaxOffset uint64
+	// AllowSelf permits hosting a hint in the branch's own block
+	// (useful for loop branches whose strongest predecessor is
+	// themselves).
+	AllowSelf bool
+}
+
+// DefaultPlacementOptions mirror the paper's setup.
+func DefaultPlacementOptions() PlacementOptions {
+	return PlacementOptions{
+		MinPrecision: 0.25,
+		MinRecall:    0.25,
+		MaxOffset:    OffsetRange,
+		AllowSelf:    true,
+	}
+}
+
+// Place selects the best hint host for branchPC, or ok=false when no
+// predecessor satisfies the constraints (the branch then stays with the
+// dynamic predictor).
+func (g *Graph) Place(branchPC uint64, opt PlacementOptions) (Placement, bool) {
+	if opt.MaxOffset == 0 {
+		opt.MaxOffset = OffsetRange
+	}
+	bx := g.execs[branchPC]
+	if bx == 0 {
+		return Placement{}, false
+	}
+	var best Placement
+	found := false
+	for host, cnt := range g.pred[branchPC] {
+		if host == branchPC && !opt.AllowSelf {
+			continue
+		}
+		var dist uint64
+		if host > branchPC {
+			dist = host - branchPC
+		} else {
+			dist = branchPC - host
+		}
+		if dist > opt.MaxOffset {
+			continue
+		}
+		hx := g.execs[host]
+		if hx == 0 {
+			continue
+		}
+		prec := float64(cnt) / float64(hx)
+		rec := float64(cnt) / float64(bx)
+		if prec < opt.MinPrecision || rec < opt.MinRecall {
+			continue
+		}
+		cand := Placement{
+			BranchPC:  branchPC,
+			HostPC:    host,
+			Precision: prec,
+			Recall:    rec,
+			HostExecs: hx,
+		}
+		if !found || score(cand) > score(best) ||
+			(score(cand) == score(best) && cand.HostPC < best.HostPC) {
+			best = cand
+			found = true
+		}
+	}
+	return best, found
+}
+
+// score ranks placements by F1 (harmonic mean of precision and recall).
+func score(p Placement) float64 {
+	if p.Precision+p.Recall == 0 {
+		return 0
+	}
+	return 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+}
+
+// PlaceAll runs Place for every branch in pcs and returns the
+// successful placements keyed by branch PC.
+func (g *Graph) PlaceAll(pcs []uint64, opt PlacementOptions) map[uint64]Placement {
+	out := make(map[uint64]Placement, len(pcs))
+	for _, pc := range pcs {
+		if p, ok := g.Place(pc, opt); ok {
+			out[pc] = p
+		}
+	}
+	return out
+}
+
+// Coverage returns the fraction of branches in pcs that received a
+// placement, the paper's ">80% of all branch instructions" check.
+func (g *Graph) Coverage(pcs []uint64, opt PlacementOptions) float64 {
+	if len(pcs) == 0 {
+		return 0
+	}
+	placed := 0
+	for _, pc := range pcs {
+		if _, ok := g.Place(pc, opt); ok {
+			placed++
+		}
+	}
+	return float64(placed) / float64(len(pcs))
+}

@@ -1,0 +1,154 @@
+package classify
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/tage"
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/workload"
+	"github.com/whisper-sim/whisper/internal/xrand"
+)
+
+func condStream(recs []trace.Record) trace.Stream { return trace.NewSliceStream(recs) }
+
+func TestClassStrings(t *testing.T) {
+	for c := Compulsory; c < numClasses; c++ {
+		if c.String() == "" || c.String() == "unknown" {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+}
+
+func TestOracleHasNoMispredictions(t *testing.T) {
+	app := workload.DataCenterApp("kafka")
+	counts := DefaultClassifier().Run(app.Stream(0, 20000), &bpu.Oracle{})
+	if counts.Total != 0 {
+		t.Fatalf("oracle classified %d mispredictions", counts.Total)
+	}
+	if counts.CondExecs == 0 || counts.Instrs == 0 {
+		t.Fatal("window counters empty")
+	}
+}
+
+func TestDataDependentDominatesRandomBranch(t *testing.T) {
+	// One static branch, pure coin flips: after warm-up every
+	// misprediction should be conditional-on-data (substreams recur and
+	// their majority is meaningless).
+	r := xrand.New(3)
+	var recs []trace.Record
+	for i := 0; i < 30000; i++ {
+		recs = append(recs, trace.Record{
+			PC: 0x1000, Kind: trace.CondBranch, Taken: r.Bool(0.5), Instrs: 4,
+		})
+	}
+	counts := DefaultClassifier().Run(condStream(recs), tage.New(tage.DefaultConfig()))
+	if counts.Total == 0 {
+		t.Fatal("random branch produced no mispredictions")
+	}
+	if counts.Fraction(DataDependent) < 0.5 {
+		t.Fatalf("data-dependent fraction %v, want dominant; counts %+v",
+			counts.Fraction(DataDependent), counts.ByClass)
+	}
+}
+
+func TestCompulsoryOnFirstPass(t *testing.T) {
+	// Every branch executes exactly once with an unpredictable direction:
+	// all mispredictions must be compulsory.
+	r := xrand.New(4)
+	var recs []trace.Record
+	for i := 0; i < 5000; i++ {
+		recs = append(recs, trace.Record{
+			PC: 0x1000 + uint64(i)*64, Kind: trace.CondBranch,
+			Taken: r.Bool(0.5), Instrs: 4,
+		})
+	}
+	counts := DefaultClassifier().Run(condStream(recs), tage.New(tage.DefaultConfig()))
+	if counts.Total == 0 {
+		t.Fatal("no mispredictions")
+	}
+	if counts.Fraction(Compulsory) < 0.95 {
+		t.Fatalf("compulsory fraction %v; counts %+v", counts.Fraction(Compulsory), counts.ByClass)
+	}
+}
+
+func TestCapacityUnderLargeWorkingSet(t *testing.T) {
+	// A deterministic per-branch pattern over far more substreams than
+	// the capacity model holds: recurring substreams whose reuse distance
+	// exceeds capacity must classify as capacity.
+	cl := &Classifier{CapacityEntries: 2048}
+	var recs []trace.Record
+	state := map[uint64]int{}
+	for round := 0; round < 6; round++ {
+		for b := 0; b < 8000; b++ {
+			pc := 0x10000 + uint64(b)*32
+			state[pc]++
+			recs = append(recs, trace.Record{
+				PC: pc, Kind: trace.CondBranch,
+				Taken: state[pc]%2 == 0, Instrs: 4,
+			})
+		}
+	}
+	counts := cl.Run(condStream(recs), tage.New(tage.Config{SizeKB: 8}))
+	if counts.Total == 0 {
+		t.Fatal("no mispredictions")
+	}
+	if counts.Fraction(Capacity) < 0.4 {
+		t.Fatalf("capacity fraction %v; counts %+v", counts.Fraction(Capacity), counts.ByClass)
+	}
+}
+
+func TestDataCenterAppCapacityDominated(t *testing.T) {
+	// The paper's Fig 3: data center applications are dominated by
+	// capacity mispredictions (76.4% average). Check the regime (plural
+	// classes present, capacity largest).
+	app := workload.DataCenterApp("mysql")
+	counts := DefaultClassifier().Run(app.Stream(0, 120000), tage.New(tage.DefaultConfig()))
+	if counts.Total == 0 {
+		t.Fatal("no mispredictions")
+	}
+	capFrac := counts.Fraction(Capacity)
+	if capFrac < counts.Fraction(Compulsory) || capFrac < counts.Fraction(Conflict) {
+		t.Fatalf("capacity %v not dominant: %+v", capFrac, counts.ByClass)
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	app := workload.DataCenterApp("drupal")
+	counts := DefaultClassifier().Run(app.Stream(0, 40000), tage.New(tage.DefaultConfig()))
+	sum := 0.0
+	for c := Compulsory; c < numClasses; c++ {
+		sum += counts.Fraction(c)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	var total uint64
+	for _, v := range counts.ByClass {
+		total += v
+	}
+	if total != counts.Total {
+		t.Fatalf("ByClass sum %d != Total %d", total, counts.Total)
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	c := Counts{Total: 30, Instrs: 10000}
+	if got := c.MPKI(); got != 3 {
+		t.Fatalf("MPKI = %v", got)
+	}
+	empty := Counts{}
+	if empty.MPKI() != 0 || empty.Fraction(Capacity) != 0 {
+		t.Fatal("zero-window accessors wrong")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cl := &Classifier{}
+	counts := cl.Run(condStream([]trace.Record{
+		{PC: 0x1, Kind: trace.CondBranch, Taken: true, Instrs: 1},
+	}), tage.New(tage.DefaultConfig()))
+	if counts.CondExecs != 1 {
+		t.Fatal("zero-value classifier did not run")
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+// Design-choice ablations beyond the paper's own figures (DESIGN.md §3):
+// the hint-buffer capacity sensitivity the paper summarizes in Table III
+// ("high performance even with a 32-entry hint buffer"), the §IV
+// allocation-suppression policy, and this reproduction's held-out
+// validation split.
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/core"
+	"github.com/whisper-sim/whisper/internal/sim"
+	"github.com/whisper-sim/whisper/internal/stats"
+	"github.com/whisper-sim/whisper/internal/tage"
+)
+
+// BufferSweepSizes is the default hint-buffer capacity sweep.
+var BufferSweepSizes = []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// BufferSweepResult measures reduction versus hint-buffer capacity.
+type BufferSweepResult struct {
+	Sizes     []int
+	Reduction []float64 // mean across apps
+	HitRate   []float64 // mean buffer hit rate among hinted branches
+}
+
+// BufferSweep runs the Table III hint-buffer sensitivity study.
+func BufferSweep(opt Options, sizes []int) (*BufferSweepResult, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	if sizes == nil {
+		sizes = BufferSweepSizes
+	}
+	// Build once per app, evaluate at every size.
+	type built struct {
+		b    *sim.WhisperBuild
+		base float64
+		misp uint64
+	}
+	var builds []built
+	basePopt := opt.popt()
+	var baseResults []uint64
+	for _, app := range opt.Apps {
+		b, err := opt.buildWhisper(app)
+		if err != nil {
+			return nil, err
+		}
+		base := opt.runBaseline(app, opt.TestInput)
+		builds = append(builds, built{b: b})
+		baseResults = append(baseResults, base.CondMisp)
+	}
+	r := &BufferSweepResult{Sizes: sizes}
+	for _, size := range sizes {
+		var reds, hits []float64
+		for i, app := range opt.Apps {
+			rt := core.NewRuntimeOpts(tage.New(tage.DefaultConfig()),
+				builds[i].b.Binary, builds[i].b.Train.Lengths, size, true)
+			popt := basePopt
+			popt.Hook = rt
+			res := sim.RunApp(app, opt.TestInput, opt.Records, rt, popt)
+			red := 0.0
+			if baseResults[i] > 0 {
+				red = 1 - float64(res.CondMisp)/float64(baseResults[i])
+			}
+			reds = append(reds, red)
+			hits = append(hits, rt.Buffer().HitRate())
+		}
+		r.Reduction = append(r.Reduction, stats.Mean(reds))
+		r.HitRate = append(r.HitRate, stats.Mean(hits))
+	}
+	return r, nil
+}
+
+// Table renders the sweep.
+func (r *BufferSweepResult) Table() *stats.Table {
+	t := stats.NewTable("Ablation: hint-buffer capacity sensitivity",
+		"entries", "avg reduction %", "buffer hit rate")
+	for i, s := range r.Sizes {
+		t.AddRow(fmt.Sprintf("%d", s), pct(r.Reduction[i]),
+			stats.FormatFloat(r.HitRate[i], 3))
+	}
+	return t
+}
+
+// AblationResult compares the full design against single-policy removals.
+type AblationResult struct {
+	Apps []string
+	// Full is the shipped configuration; NoSuppression keeps hinted
+	// branches inside TAGE's tables; NoValidation deploys hints without
+	// the held-out check.
+	Full, NoSuppression, NoValidation []float64
+}
+
+// Ablations measures the design-policy contributions.
+func Ablations(opt Options) (*AblationResult, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	r := &AblationResult{Apps: appNames(opt.Apps)}
+	for _, app := range opt.Apps {
+		base := opt.runBaseline(app, opt.TestInput)
+
+		// Full design (shared build for full + no-suppression).
+		b, err := opt.buildWhisper(app)
+		if err != nil {
+			return nil, err
+		}
+		evalWith := func(bb *sim.WhisperBuild, suppress bool) float64 {
+			rt := core.NewRuntimeOpts(tage.New(tage.DefaultConfig()),
+				bb.Binary, bb.Train.Lengths, 0, suppress)
+			popt := opt.popt()
+			popt.Hook = rt
+			res := sim.RunApp(app, opt.TestInput, opt.Records, rt, popt)
+			return sim.MispReduction(base, res)
+		}
+		r.Full = append(r.Full, evalWith(b, true))
+		r.NoSuppression = append(r.NoSuppression, evalWith(b, false))
+
+		params := opt.Params
+		params.NoValidation = true
+		bopt := sim.DefaultBuildOptions()
+		bopt.TrainInput = opt.TrainInput
+		bopt.Records = opt.Records
+		bopt.Params = params
+		nb, err := sim.BuildWhisper(app, bopt)
+		if err != nil {
+			return nil, err
+		}
+		r.NoValidation = append(r.NoValidation, evalWith(nb, true))
+	}
+	return r, nil
+}
+
+// Table renders the ablation comparison.
+func (r *AblationResult) Table() *stats.Table {
+	t := stats.NewTable("Ablation: design policies (misprediction reduction %)",
+		"app", "full", "no-alloc-suppression", "no-validation-split")
+	for i, app := range r.Apps {
+		t.AddRow(app, pct(r.Full[i]), pct(r.NoSuppression[i]), pct(r.NoValidation[i]))
+	}
+	t.AddRow("Avg", pct(stats.Mean(r.Full)), pct(stats.Mean(r.NoSuppression)),
+		pct(stats.Mean(r.NoValidation)))
+	return t
+}

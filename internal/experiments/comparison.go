@@ -1,0 +1,253 @@
+package experiments
+
+// The cross-technique comparison behind the paper's headline figures:
+// Fig 4 (prior profile-guided techniques), Fig 12 (speedup), Fig 13
+// (misprediction reduction), and Fig 16 (training time). All techniques
+// are trained on the TrainInput profile and evaluated on TestInput, the
+// paper's cross-input methodology (§V-A).
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/branchnet"
+	"github.com/whisper-sim/whisper/internal/mtage"
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/profiler"
+	"github.com/whisper-sim/whisper/internal/rombf"
+	"github.com/whisper-sim/whisper/internal/sim"
+	"github.com/whisper-sim/whisper/internal/stats"
+	"github.com/whisper-sim/whisper/internal/tage"
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// Technique identifies one compared mechanism.
+type Technique string
+
+// The techniques of the paper's Figs 4/12/13.
+const (
+	Tech4bROMBF      Technique = "4b-ROMBF"
+	Tech8bROMBF      Technique = "8b-ROMBF"
+	TechBranchNet8   Technique = "8KB-BranchNet"
+	TechBranchNet32  Technique = "32KB-BranchNet"
+	TechBranchNetUnl Technique = "Unlimited-BranchNet"
+	TechWhisper      Technique = "Whisper"
+	TechMTAGE        Technique = "Unlimited-MTAGE-SC"
+	TechIdeal        Technique = "Ideal-Branch-Predictor"
+)
+
+// PriorTechniques are the profile-guided baselines of Fig 4.
+var PriorTechniques = []Technique{
+	Tech4bROMBF, Tech8bROMBF, TechBranchNet8, TechBranchNet32, TechBranchNetUnl,
+}
+
+// AllTechniques is the Fig 12 set, in the figure's legend order.
+var AllTechniques = []Technique{
+	Tech4bROMBF, Tech8bROMBF, TechBranchNet8, TechBranchNet32, TechBranchNetUnl,
+	TechWhisper, TechMTAGE, TechIdeal,
+}
+
+// Comparison holds per-app, per-technique results.
+type Comparison struct {
+	Apps       []string
+	Techniques []Technique
+	// Reduction and Speedup are fractions per technique per app.
+	Reduction map[Technique][]float64
+	Speedup   map[Technique][]float64
+	// TrainTime is total offline training time per technique (the
+	// profile-guided ones).
+	TrainTime map[Technique]time.Duration
+	// BaseMPKI is the 64KB TAGE-SC-L baseline per app on the test input.
+	BaseMPKI []float64
+}
+
+// RunComparison trains and evaluates every requested technique. A nil
+// techniques slice selects AllTechniques.
+func RunComparison(opt Options, techniques []Technique) (*Comparison, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	if techniques == nil {
+		techniques = AllTechniques
+	}
+	want := map[Technique]bool{}
+	for _, t := range techniques {
+		want[t] = true
+	}
+	c := &Comparison{
+		Apps:       appNames(opt.Apps),
+		Techniques: techniques,
+		Reduction:  map[Technique][]float64{},
+		Speedup:    map[Technique][]float64{},
+		TrainTime:  map[Technique]time.Duration{},
+	}
+	for _, app := range opt.Apps {
+		base := opt.runBaseline(app, opt.TestInput)
+		c.BaseMPKI = append(c.BaseMPKI, base.MPKI())
+		record := func(t Technique, res pipeline.Result) {
+			c.Reduction[t] = append(c.Reduction[t], sim.MispReduction(base, res))
+			c.Speedup[t] = append(c.Speedup[t], sim.Speedup(base, res))
+		}
+
+		trainStream := func() trace.Stream { return app.Stream(opt.TrainInput, opt.Records) }
+
+		// Profiles: the Whisper/BranchNet profile uses the full length
+		// series over hard branches; the ROMBF profile covers every
+		// mispredicting branch at the raw 8-bit history (the original
+		// methodology).
+		var hardProf, rombfProf *profiler.Profile
+		var err error
+		if want[TechWhisper] || want[TechBranchNet8] || want[TechBranchNet32] || want[TechBranchNetUnl] {
+			hardProf, err = profiler.Collect(trainStream, sim.Tage64KB(), profiler.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: profiling %s: %w", app.Name(), err)
+			}
+		}
+		if want[Tech4bROMBF] || want[Tech8bROMBF] {
+			ropt := profiler.DefaultOptions()
+			ropt.Lengths = []int{8}
+			ropt.MaxHard = 0
+			rombfProf, err = profiler.Collect(trainStream, sim.Tage64KB(), ropt)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: rombf profiling %s: %w", app.Name(), err)
+			}
+		}
+
+		for _, n := range []int{4, 8} {
+			t := Tech4bROMBF
+			if n == 8 {
+				t = Tech8bROMBF
+			}
+			if !want[t] {
+				continue
+			}
+			cfg := rombf.DefaultConfig()
+			cfg.N = n
+			tr, err := rombf.Train(rombfProf, cfg)
+			if err != nil {
+				return nil, err
+			}
+			c.TrainTime[t] += tr.Duration
+			pred := rombf.NewPredictor(tage.New(tage.DefaultConfig()), tr.Hints, n)
+			record(t, sim.RunApp(app, opt.TestInput, opt.Records, pred, opt.popt()))
+		}
+
+		for _, v := range []struct {
+			t    Technique
+			name string
+		}{
+			{TechBranchNet8, "8KB"},
+			{TechBranchNet32, "32KB"},
+			{TechBranchNetUnl, "unlimited"},
+		} {
+			if !want[v.t] {
+				continue
+			}
+			cfg, err := branchnet.Variant(v.name)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := branchnet.Train(hardProf, trainStream, cfg)
+			if err != nil {
+				return nil, err
+			}
+			c.TrainTime[v.t] += tr.Duration
+			pred := branchnet.NewPredictor(tage.New(tage.DefaultConfig()), tr.Models, v.name)
+			record(v.t, sim.RunApp(app, opt.TestInput, opt.Records, pred, opt.popt()))
+		}
+
+		if want[TechWhisper] {
+			b, err := opt.buildWhisper(app)
+			if err != nil {
+				return nil, err
+			}
+			c.TrainTime[TechWhisper] += b.Train.Duration
+			res, _ := opt.runWhisper(b, app, opt.TestInput)
+			record(TechWhisper, res)
+		}
+		if want[TechMTAGE] {
+			record(TechMTAGE, sim.RunApp(app, opt.TestInput, opt.Records, mtage.New(), opt.popt()))
+		}
+		if want[TechIdeal] {
+			record(TechIdeal, sim.RunApp(app, opt.TestInput, opt.Records, &bpu.Oracle{}, opt.popt()))
+		}
+	}
+	return c, nil
+}
+
+// ReductionTable renders the misprediction-reduction comparison
+// (Fig 13, or Fig 4 when run with PriorTechniques).
+func (c *Comparison) ReductionTable(title string) *stats.Table {
+	cols := []string{"app"}
+	for _, t := range c.Techniques {
+		cols = append(cols, string(t))
+	}
+	tb := stats.NewTable(title, cols...)
+	for i, app := range c.Apps {
+		cells := []string{app}
+		for _, t := range c.Techniques {
+			cells = append(cells, pct(c.Reduction[t][i]))
+		}
+		tb.AddRow(cells...)
+	}
+	cells := []string{"Avg"}
+	for _, t := range c.Techniques {
+		cells = append(cells, pct(stats.Mean(c.Reduction[t])))
+	}
+	tb.AddRow(cells...)
+	return tb
+}
+
+// SpeedupTable renders the IPC-speedup comparison (Fig 12).
+func (c *Comparison) SpeedupTable(title string) *stats.Table {
+	cols := []string{"app"}
+	for _, t := range c.Techniques {
+		cols = append(cols, string(t))
+	}
+	tb := stats.NewTable(title, cols...)
+	for i, app := range c.Apps {
+		cells := []string{app}
+		for _, t := range c.Techniques {
+			cells = append(cells, pct(c.Speedup[t][i]))
+		}
+		tb.AddRow(cells...)
+	}
+	cells := []string{"Avg"}
+	for _, t := range c.Techniques {
+		cells = append(cells, pct(stats.Mean(c.Speedup[t])))
+	}
+	tb.AddRow(cells...)
+	return tb
+}
+
+// TrainTimeTable renders Fig 16: total offline training time per
+// technique across the configured apps (log-scale in the paper; raw
+// seconds here).
+func (c *Comparison) TrainTimeTable() *stats.Table {
+	tb := stats.NewTable("Fig 16: offline training time (seconds, all apps)",
+		"technique", "seconds")
+	for _, t := range c.Techniques {
+		if d, ok := c.TrainTime[t]; ok {
+			tb.AddRow(string(t), stats.FormatFloat(d.Seconds(), 3))
+		}
+	}
+	return tb
+}
+
+// Fig4 runs the prior-technique comparison (paper Fig 4).
+func Fig4(opt Options) (*Comparison, error) {
+	return RunComparison(opt, PriorTechniques)
+}
+
+// Fig12and13 runs the full comparison behind Figs 12, 13 and 16.
+func Fig12and13(opt Options) (*Comparison, error) {
+	return RunComparison(opt, AllTechniques)
+}
+
+// AvgReduction returns a technique's mean reduction.
+func (c *Comparison) AvgReduction(t Technique) float64 { return stats.Mean(c.Reduction[t]) }
+
+// AvgSpeedup returns a technique's mean speedup.
+func (c *Comparison) AvgSpeedup(t Technique) float64 { return stats.Mean(c.Speedup[t]) }

@@ -1,0 +1,212 @@
+package experiments
+
+// Sensitivity sweeps: larger baseline (Fig 20), predictor size (Fig 21),
+// warm-up fraction (Fig 22), and simulated window length (Fig 23).
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/sim"
+	"github.com/whisper-sim/whisper/internal/stats"
+)
+
+// whisperReductionWith builds Whisper against the given baseline budget
+// and returns per-app reductions on the test input.
+func whisperReductionWith(opt Options, sizeKB int, records int, warmupFrac float64) ([]float64, []float64, error) {
+	var reds, mpkis []float64
+	factory := sim.TageSized(sizeKB)
+	for _, app := range opt.Apps {
+		bopt := sim.DefaultBuildOptions()
+		bopt.TrainInput = opt.TrainInput
+		bopt.Records = records
+		bopt.Params = opt.Params
+		bopt.Baseline = factory
+		b, err := sim.BuildWhisper(app, bopt)
+		if err != nil {
+			return nil, nil, err
+		}
+		popt := pipeline.Options{
+			Config:        opt.Pipeline,
+			WarmupRecords: uint64(float64(records) * warmupFrac),
+		}
+		base := sim.RunApp(app, opt.TestInput, records, factory(), popt)
+		res, _ := b.RunWhisperWarm(app, opt.TestInput, records, factory, popt)
+		reds = append(reds, sim.MispReduction(base, res))
+		mpkis = append(mpkis, base.MPKI())
+	}
+	return reds, mpkis, nil
+}
+
+// Fig20Result is Whisper against a 128KB TAGE-SC-L baseline (paper
+// Fig 20).
+type Fig20Result struct {
+	Apps      []string
+	Reduction []float64
+	BaseMPKI  []float64
+}
+
+// Fig20 runs the 128KB-baseline study.
+func Fig20(opt Options) (*Fig20Result, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	reds, mpkis, err := whisperReductionWith(opt, 128, opt.Records, opt.WarmupFrac)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig20Result{Apps: appNames(opt.Apps), Reduction: reds, BaseMPKI: mpkis}, nil
+}
+
+// Table renders the figure.
+func (r *Fig20Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 20: misprediction reduction over 128KB TAGE-SC-L (%)",
+		"app", "reduction", "baseline MPKI")
+	for i, app := range r.Apps {
+		t.AddRow(app, pct(r.Reduction[i]), stats.FormatFloat(r.BaseMPKI[i], 2))
+	}
+	t.AddRow("Avg", pct(stats.Mean(r.Reduction)), stats.FormatFloat(stats.Mean(r.BaseMPKI), 2))
+	return t
+}
+
+// Fig21Sizes is the predictor-size sweep of the paper's Fig 21.
+var Fig21Sizes = []int{8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Fig21Result sweeps the baseline predictor budget.
+type Fig21Result struct {
+	SizesKB   []int
+	Reduction []float64 // mean across apps per size
+	BaseMPKI  []float64
+}
+
+// Fig21 runs the sweep.
+func Fig21(opt Options, sizes []int) (*Fig21Result, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	if sizes == nil {
+		sizes = Fig21Sizes
+	}
+	r := &Fig21Result{SizesKB: sizes}
+	for _, kb := range sizes {
+		reds, mpkis, err := whisperReductionWith(opt, kb, opt.Records, opt.WarmupFrac)
+		if err != nil {
+			return nil, err
+		}
+		r.Reduction = append(r.Reduction, stats.Mean(reds))
+		r.BaseMPKI = append(r.BaseMPKI, stats.Mean(mpkis))
+	}
+	return r, nil
+}
+
+// Table renders the figure.
+func (r *Fig21Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 21: avg reduction vs baseline predictor size",
+		"size", "avg reduction %", "avg baseline MPKI")
+	for i, kb := range r.SizesKB {
+		t.AddRow(fmt.Sprintf("%dKB", kb), pct(r.Reduction[i]),
+			stats.FormatFloat(r.BaseMPKI[i], 2))
+	}
+	return t
+}
+
+// Fig22Fracs is the warm-up sweep of the paper's Fig 22.
+var Fig22Fracs = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+// Fig22Result sweeps the warm-up fraction.
+type Fig22Result struct {
+	WarmupFracs []float64
+	Reduction   []float64
+}
+
+// Fig22 runs the sweep. A zero warm-up measures the whole window
+// (cold-start mispredictions included, where Whisper helps most).
+func Fig22(opt Options, fracs []float64) (*Fig22Result, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	if fracs == nil {
+		fracs = Fig22Fracs
+	}
+	r := &Fig22Result{WarmupFracs: fracs}
+	// One build per app; only the measurement window varies.
+	builds := make([]*sim.WhisperBuild, len(opt.Apps))
+	for i, app := range opt.Apps {
+		b, err := opt.buildWhisper(app)
+		if err != nil {
+			return nil, err
+		}
+		builds[i] = b
+	}
+	for _, f := range fracs {
+		var reds []float64
+		for i, app := range opt.Apps {
+			popt := pipeline.Options{
+				Config:        opt.Pipeline,
+				WarmupRecords: uint64(float64(opt.Records) * f),
+			}
+			base := sim.RunApp(app, opt.TestInput, opt.Records, sim.Tage64KB(), popt)
+			res, _ := builds[i].RunWhisperWarm(app, opt.TestInput, opt.Records, sim.Tage64KB, popt)
+			reds = append(reds, sim.MispReduction(base, res))
+		}
+		r.Reduction = append(r.Reduction, stats.Mean(reds))
+	}
+	return r, nil
+}
+
+// Table renders the figure.
+func (r *Fig22Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 22: avg reduction vs warm-up fraction",
+		"warm-up %", "avg reduction %")
+	for i, f := range r.WarmupFracs {
+		t.AddRow(stats.FormatFloat(f*100, 0)+"%", pct(r.Reduction[i]))
+	}
+	return t
+}
+
+// Fig23Result sweeps the measured window length (paper Fig 23: 100M to
+// 1B instructions; here scaled record counts).
+type Fig23Result struct {
+	Records   []int
+	Reduction []float64
+}
+
+// Fig23 runs the sweep; counts default to 1x..10x of a tenth of the
+// configured record budget, mirroring the paper's 100M..1B range.
+func Fig23(opt Options, counts []int) (*Fig23Result, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	if counts == nil {
+		base := opt.Records / 10
+		if base < 10000 {
+			base = 10000
+		}
+		for k := 1; k <= 10; k++ {
+			counts = append(counts, base*k)
+		}
+	}
+	r := &Fig23Result{Records: counts}
+	for _, n := range counts {
+		reds, _, err := whisperReductionWith(opt, 64, n, opt.WarmupFrac)
+		if err != nil {
+			return nil, err
+		}
+		r.Reduction = append(r.Reduction, stats.Mean(reds))
+	}
+	return r, nil
+}
+
+// Table renders the figure.
+func (r *Fig23Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 23: avg reduction vs simulated window length",
+		"records", "avg reduction %")
+	for i, n := range r.Records {
+		t.AddRow(fmt.Sprintf("%d", n), pct(r.Reduction[i]))
+	}
+	return t
+}

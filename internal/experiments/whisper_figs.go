@@ -1,0 +1,471 @@
+package experiments
+
+// Whisper-specific evaluation drivers: the trained-formula operation
+// breakdown (Fig 7), the ablation (Fig 14), the randomized-testing sweep
+// (Fig 15), input sensitivity (Fig 17), profile merging (Fig 18), and the
+// hint overhead (Fig 19).
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/whisper-sim/whisper/internal/cfg"
+	"github.com/whisper-sim/whisper/internal/core"
+	"github.com/whisper-sim/whisper/internal/hint"
+	"github.com/whisper-sim/whisper/internal/profiler"
+	"github.com/whisper-sim/whisper/internal/rombf"
+	"github.com/whisper-sim/whisper/internal/sim"
+	"github.com/whisper-sim/whisper/internal/stats"
+	"github.com/whisper-sim/whisper/internal/tage"
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// Fig7Ops are the categories of the paper's Fig 7 legend.
+var Fig7Ops = []string{
+	"And", "Always-taken", "Converse-nonimplication", "Implication",
+	"Never-taken", "Or", "Others",
+}
+
+// Fig7Result distributes hinted branch *executions* among the logical
+// operations of their trained formulas (paper Fig 7).
+type Fig7Result struct {
+	Apps []string
+	// Shares[app][op] follows Fig7Ops ordering; fractions of hinted
+	// executions.
+	Shares [][]float64
+}
+
+// Fig7 trains Whisper per app and classifies the deployed formulas.
+func Fig7(opt Options) (*Fig7Result, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	r := &Fig7Result{Apps: appNames(opt.Apps)}
+	for _, app := range opt.Apps {
+		b, err := opt.buildWhisper(app)
+		if err != nil {
+			return nil, err
+		}
+		shares := make([]float64, len(Fig7Ops))
+		var total float64
+		for pc, h := range b.Train.Hints {
+			execs := float64(b.Profile.Stats[pc].Execs)
+			total += execs
+			shares[fig7Class(h)] += execs
+		}
+		if total > 0 {
+			for i := range shares {
+				shares[i] /= total
+			}
+		}
+		r.Shares = append(r.Shares, shares)
+	}
+	return r, nil
+}
+
+// fig7Class maps a trained hint to its Fig 7 category index.
+func fig7Class(h core.Hint) int {
+	switch h.Bias {
+	case hint.BiasTaken:
+		return 1 // Always-taken
+	case hint.BiasNotTaken:
+		return 4 // Never-taken
+	}
+	if op, ok := h.Formula.DominantOp(); ok {
+		switch op.String() {
+		case "And":
+			return 0
+		case "Converse-nonimplication":
+			return 2
+		case "Implication":
+			return 3
+		case "Or":
+			return 5
+		}
+	}
+	return 6 // Others
+}
+
+// Table renders the figure.
+func (r *Fig7Result) Table() *stats.Table {
+	cols := append([]string{"app"}, Fig7Ops...)
+	t := stats.NewTable("Fig 7: hinted executions by formula operation (%)", cols...)
+	avg := make([]float64, len(Fig7Ops))
+	for i, app := range r.Apps {
+		cells := []string{app}
+		for k, v := range r.Shares[i] {
+			cells = append(cells, pct(v))
+			avg[k] += v
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"Avg"}
+	for _, v := range avg {
+		cells = append(cells, pct(v/float64(len(r.Apps))))
+	}
+	t.AddRow(cells...)
+	return t
+}
+
+// Fig14Result is the ablation over 8b-ROMBF: the misprediction reduction
+// contributed by hashed history correlation and by the Implication /
+// Converse Non-Implication extension (paper Fig 14).
+type Fig14Result struct {
+	Apps []string
+	// HashedHistory and ImplCnimpl are reduction-percentage-point
+	// contributions over the 8b-ROMBF baseline.
+	HashedHistory, ImplCnimpl []float64
+}
+
+// Fig14 measures the two contributions in the order the techniques
+// compose: Whisper restricted to the raw 8-bit history (HashedHistory
+// off) isolates the Implication/Converse-Non-Implication extension over
+// 8b-ROMBF; enabling the full geometric length series on top isolates
+// hashed history correlation. (The reverse attribution — monotone
+// operators over hashed lengths — measures near zero here because the
+// workload's long-history ground truths are balanced formulas outside
+// the monotone space; the two techniques are complementary, not
+// additive, and this order matches the paper's narrative.)
+func Fig14(opt Options) (*Fig14Result, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	r := &Fig14Result{Apps: appNames(opt.Apps)}
+	for _, app := range opt.Apps {
+		base := opt.runBaseline(app, opt.TestInput)
+
+		// 8b-ROMBF reference, trained over the same hard-branch set the
+		// Whisper variants see (the figure decomposes expressiveness;
+		// coverage differences would contaminate it).
+		ropt := profiler.DefaultOptions()
+		ropt.Lengths = []int{8}
+		rprof, err := profiler.Collect(func() trace.Stream {
+			return app.Stream(opt.TrainInput, opt.Records)
+		}, sim.Tage64KB(), ropt)
+		if err != nil {
+			return nil, err
+		}
+		rtr, err := rombf.Train(rprof, rombf.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		rres := sim.RunApp(app, opt.TestInput, opt.Records,
+			rombf.NewPredictor(tage.New(tage.DefaultConfig()), rtr.Hints, 8), opt.popt())
+		rombfRed := sim.MispReduction(base, rres)
+
+		// All variants search their formula spaces exhaustively so the
+		// decomposition isolates expressiveness rather than sampling
+		// luck (8b-ROMBF's 128-formula space is always searched
+		// exhaustively; the factorized evaluator makes the 2^15 space
+		// exhaustive too).
+		run := func(params core.Params) (float64, error) {
+			params.ExploreFraction = 1.0
+			bopt := sim.DefaultBuildOptions()
+			bopt.TrainInput = opt.TrainInput
+			bopt.Records = opt.Records
+			bopt.Params = params
+			b, err := sim.BuildWhisper(app, bopt)
+			if err != nil {
+				return 0, err
+			}
+			res, _ := b.RunWhisperWarm(app, opt.TestInput, opt.Records, sim.Tage64KB, opt.popt())
+			return sim.MispReduction(base, res), nil
+		}
+		opsOnly := opt.Params
+		opsOnly.HashedHistory = false
+		opsRed, err := run(opsOnly)
+		if err != nil {
+			return nil, err
+		}
+		fullRed, err := run(opt.Params)
+		if err != nil {
+			return nil, err
+		}
+		r.ImplCnimpl = append(r.ImplCnimpl, opsRed-rombfRed)
+		r.HashedHistory = append(r.HashedHistory, fullRed-opsRed)
+	}
+	return r, nil
+}
+
+// Table renders the figure.
+func (r *Fig14Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 14: improvement over 8b-ROMBF (percentage points)",
+		"app", "Hashed-history-correlation", "Implication-converse-nonimplication")
+	for i, app := range r.Apps {
+		t.AddRow(app, pct(r.HashedHistory[i]), pct(r.ImplCnimpl[i]))
+	}
+	t.AddRow("Avg", pct(stats.Mean(r.HashedHistory)), pct(stats.Mean(r.ImplCnimpl)))
+	return t
+}
+
+// Fig15Fractions is the default exploration sweep.
+var Fig15Fractions = []float64{0.001, 0.01, 0.05, 0.2, 1.0}
+
+// Fig15Result sweeps randomized formula testing's explored fraction
+// against average misprediction reduction and training time (paper
+// Fig 15). The 1.0 point uses the exact factorized exhaustive search.
+type Fig15Result struct {
+	Fractions []float64
+	// Reduction is the mean misprediction reduction at each fraction;
+	// TrainSeconds the mean per-app training time.
+	Reduction    []float64
+	TrainSeconds []float64
+}
+
+// Fig15 runs the sweep.
+func Fig15(opt Options, fractions []float64) (*Fig15Result, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	if fractions == nil {
+		fractions = Fig15Fractions
+	}
+	r := &Fig15Result{Fractions: fractions}
+	for _, frac := range fractions {
+		var reds []float64
+		var train time.Duration
+		for _, app := range opt.Apps {
+			base := opt.runBaseline(app, opt.TestInput)
+			params := opt.Params
+			params.ExploreFraction = frac
+			bopt := sim.DefaultBuildOptions()
+			bopt.TrainInput = opt.TrainInput
+			bopt.Records = opt.Records
+			bopt.Params = params
+			b, err := sim.BuildWhisper(app, bopt)
+			if err != nil {
+				return nil, err
+			}
+			train += b.Train.Duration
+			res, _ := b.RunWhisperWarm(app, opt.TestInput, opt.Records, sim.Tage64KB, opt.popt())
+			reds = append(reds, sim.MispReduction(base, res))
+		}
+		r.Reduction = append(r.Reduction, stats.Mean(reds))
+		r.TrainSeconds = append(r.TrainSeconds, train.Seconds()/float64(len(opt.Apps)))
+	}
+	return r, nil
+}
+
+// Table renders the figure.
+func (r *Fig15Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 15: randomized formula testing sweep",
+		"% formulas explored", "avg misprediction reduction %", "avg training time (s)")
+	for i, f := range r.Fractions {
+		t.AddRow(stats.FormatFloat(f*100, 1), pct(r.Reduction[i]),
+			stats.FormatFloat(r.TrainSeconds[i], 3))
+	}
+	return t
+}
+
+// Fig17Result compares cross-input against same-input profiles (paper
+// Fig 17): for each app and test input, the reduction using the training
+// input's profile versus a profile from the test input itself.
+type Fig17Result struct {
+	Apps []string
+	// TestInputs lists the evaluated inputs (#1..#3).
+	TestInputs []int
+	// CrossInput[app][k] and SameInput[app][k] are reductions.
+	CrossInput, SameInput [][]float64
+}
+
+// Fig17 runs the input-sensitivity study.
+func Fig17(opt Options, testInputs []int) (*Fig17Result, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	if testInputs == nil {
+		testInputs = []int{1, 2, 3}
+	}
+	r := &Fig17Result{Apps: appNames(opt.Apps), TestInputs: testInputs}
+	for _, app := range opt.Apps {
+		crossB, err := opt.buildWhisper(app)
+		if err != nil {
+			return nil, err
+		}
+		var cross, same []float64
+		for _, ti := range testInputs {
+			base := opt.runBaseline(app, ti)
+			res, _ := crossB.RunWhisperWarm(app, ti, opt.Records, sim.Tage64KB, opt.popt())
+			cross = append(cross, sim.MispReduction(base, res))
+
+			bopt := sim.DefaultBuildOptions()
+			bopt.TrainInput = ti
+			bopt.Records = opt.Records
+			bopt.Params = opt.Params
+			sameB, err := sim.BuildWhisper(app, bopt)
+			if err != nil {
+				return nil, err
+			}
+			sres, _ := sameB.RunWhisperWarm(app, ti, opt.Records, sim.Tage64KB, opt.popt())
+			same = append(same, sim.MispReduction(base, sres))
+		}
+		r.CrossInput = append(r.CrossInput, cross)
+		r.SameInput = append(r.SameInput, same)
+	}
+	return r, nil
+}
+
+// Table renders the figure.
+func (r *Fig17Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 17: reduction with training-input vs same-input profiles (%)",
+		"app", "input", "profile-from-training-input", "profile-from-same-input")
+	var cAll, sAll []float64
+	for i, app := range r.Apps {
+		for k, ti := range r.TestInputs {
+			t.AddRow(app, fmt.Sprintf("#%d", ti),
+				pct(r.CrossInput[i][k]), pct(r.SameInput[i][k]))
+			cAll = append(cAll, r.CrossInput[i][k])
+			sAll = append(sAll, r.SameInput[i][k])
+		}
+	}
+	t.AddRow("Avg", "", pct(stats.Mean(cAll)), pct(stats.Mean(sAll)))
+	return t
+}
+
+// Fig18Result measures merged profiles: Whisper, 8b-ROMBF, and
+// unlimited-BranchNet trained on profiles merged from 1..k inputs and
+// evaluated on a held-out input (paper Fig 18).
+type Fig18Result struct {
+	InputCounts []int
+	// Reduction[technique][k] is the mean reduction across apps.
+	Reduction map[Technique][]float64
+}
+
+// Fig18 runs the merged-profile study. Per-input profiles are collected
+// once per app and merged incrementally, so the sweep costs k profile
+// collections rather than k^2. The held-out test input is the app's last
+// input.
+func Fig18(opt Options, maxInputs int) (*Fig18Result, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	if maxInputs <= 0 {
+		maxInputs = 5
+	}
+	r := &Fig18Result{Reduction: map[Technique][]float64{}}
+	perLevelWh := make([][]float64, maxInputs)
+	perLevelRo := make([][]float64, maxInputs)
+	for _, app := range opt.Apps {
+		if maxInputs >= app.Inputs() {
+			return nil, fmt.Errorf("experiments: app %s has only %d inputs, need > %d",
+				app.Name(), app.Inputs(), maxInputs)
+		}
+		testInput := app.Inputs() - 1
+		base := opt.runBaseline(app, testInput)
+		g := cfg.Build(app.Stream(opt.TrainInput, opt.Records))
+
+		var merged, rmerged *profiler.Profile
+		for k := 1; k <= maxInputs; k++ {
+			in := k - 1
+			mk := func() trace.Stream { return app.Stream(in, opt.Records) }
+			p, err := profiler.Collect(mk, sim.Tage64KB(), profiler.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			ropt := profiler.DefaultOptions()
+			ropt.Lengths = []int{8}
+			ropt.MaxHard = 0
+			rp, err := profiler.Collect(mk, sim.Tage64KB(), ropt)
+			if err != nil {
+				return nil, err
+			}
+			if merged == nil {
+				merged, rmerged = p, rp
+			} else {
+				if err := merged.Merge(p); err != nil {
+					return nil, err
+				}
+				if err := rmerged.Merge(rp); err != nil {
+					return nil, err
+				}
+			}
+
+			// Whisper from the merged profile.
+			tr, err := core.Train(merged, opt.Params)
+			if err != nil {
+				return nil, err
+			}
+			bin := core.Inject(tr, g, core.InjectOptions{
+				Placement:    cfg.DefaultPlacementOptions(),
+				WindowInstrs: merged.Instrs,
+			})
+			rt := core.NewRuntime(tage.New(tage.DefaultConfig()), bin, tr.Lengths, 0)
+			popt := opt.popt()
+			popt.Hook = rt
+			res := sim.RunApp(app, testInput, opt.Records, rt, popt)
+			perLevelWh[k-1] = append(perLevelWh[k-1], sim.MispReduction(base, res))
+
+			// 8b-ROMBF from the merged raw-history profile.
+			rtr, err := rombf.Train(rmerged, rombf.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			rres := sim.RunApp(app, testInput, opt.Records,
+				rombf.NewPredictor(tage.New(tage.DefaultConfig()), rtr.Hints, 8), opt.popt())
+			perLevelRo[k-1] = append(perLevelRo[k-1], sim.MispReduction(base, rres))
+		}
+	}
+	for k := 1; k <= maxInputs; k++ {
+		r.InputCounts = append(r.InputCounts, k)
+		r.Reduction[TechWhisper] = append(r.Reduction[TechWhisper], stats.Mean(perLevelWh[k-1]))
+		r.Reduction[Tech8bROMBF] = append(r.Reduction[Tech8bROMBF], stats.Mean(perLevelRo[k-1]))
+	}
+	return r, nil
+}
+
+// Table renders the figure.
+func (r *Fig18Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 18: avg misprediction reduction with merged profiles (%)",
+		"inputs merged", "8b-ROMBF", "Whisper")
+	for i, k := range r.InputCounts {
+		t.AddRow(fmt.Sprintf("%d-input", k),
+			pct(r.Reduction[Tech8bROMBF][i]), pct(r.Reduction[TechWhisper][i]))
+	}
+	return t
+}
+
+// Fig19Result is the brhint overhead study (paper Fig 19).
+type Fig19Result struct {
+	Apps []string
+	// Static and Dynamic are instruction-increase fractions.
+	Static, Dynamic []float64
+	// Placed and Dropped count hints; Coverage is placed/(placed+dropped).
+	Placed, Dropped []int
+}
+
+// Fig19 builds Whisper per app and reports the injected-hint overheads.
+func Fig19(opt Options) (*Fig19Result, error) {
+	opt = opt.normalize()
+	if err := opt.checkApps(); err != nil {
+		return nil, err
+	}
+	r := &Fig19Result{Apps: appNames(opt.Apps)}
+	for _, app := range opt.Apps {
+		b, err := opt.buildWhisper(app)
+		if err != nil {
+			return nil, err
+		}
+		r.Static = append(r.Static, b.Binary.StaticOverhead())
+		r.Dynamic = append(r.Dynamic, b.Binary.DynamicOverhead())
+		r.Placed = append(r.Placed, b.Binary.Placed)
+		r.Dropped = append(r.Dropped, b.Binary.Dropped)
+	}
+	return r, nil
+}
+
+// Table renders the figure.
+func (r *Fig19Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 19: brhint instruction overhead (%)",
+		"app", "static", "dynamic", "hints placed", "hints dropped")
+	for i, app := range r.Apps {
+		t.AddRow(app, pct(r.Static[i]), pct(r.Dynamic[i]),
+			fmt.Sprintf("%d", r.Placed[i]), fmt.Sprintf("%d", r.Dropped[i]))
+	}
+	t.AddRow("Avg", pct(stats.Mean(r.Static)), pct(stats.Mean(r.Dynamic)))
+	return t
+}

@@ -1,0 +1,6 @@
+package formula
+
+import "math/bits"
+
+// onesCount64 wraps math/bits so the rest of the package reads cleanly.
+func onesCount64(x uint64) int { return bits.OnesCount64(x) }

@@ -1,0 +1,369 @@
+// Package formula implements the Boolean-formula machinery Whisper uses to
+// encode branch-history correlations (paper §III-C).
+//
+// Whisper extends Read-Once Monotone Boolean Formulas (ROMBF) with the
+// Implication and Converse Non-Implication operations. A formula over the
+// 8-bit hashed history is a complete binary tree of 7 "single units"
+// (paper Fig 8/9): four units combine the leaf bits pairwise, two combine
+// their outputs, one produces the root, and a final global inversion bit
+// optionally negates the result. Each unit carries a 2-bit operation code,
+// so a formula encodes in 2*8-1 = 15 bits, exactly the Boolean-formula
+// field width of the brhint instruction (paper Fig 11).
+//
+// The package also provides the plain monotone (AND/OR-only) trees of the
+// ROMBF baseline (Jiménez et al., PACT 2001), which internal/rombf builds
+// on.
+package formula
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a single-unit operation code (2 bits).
+type Op uint8
+
+const (
+	// And computes a ∧ b.
+	And Op = iota
+	// Or computes a ∨ b.
+	Or
+	// Impl computes material implication a → b = ¬a ∨ b.
+	Impl
+	// Cnimpl computes converse non-implication a ↚ b = ¬a ∧ b.
+	Cnimpl
+
+	// NumOps is the number of single-unit operations (paper Table III:
+	// "Logical operations used: 4").
+	NumOps
+)
+
+// String returns the operator name used in the paper's Fig 7 legend.
+func (o Op) String() string {
+	switch o {
+	case And:
+		return "And"
+	case Or:
+		return "Or"
+	case Impl:
+		return "Implication"
+	case Cnimpl:
+		return "Converse-nonimplication"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Apply evaluates the unit on two Boolean inputs.
+func (o Op) Apply(a, b bool) bool {
+	switch o {
+	case And:
+		return a && b
+	case Or:
+		return a || b
+	case Impl:
+		return !a || b
+	case Cnimpl:
+		return !a && b
+	default:
+		panic("formula: invalid op")
+	}
+}
+
+// Leaves is the number of input bits of an extended formula: the hashed
+// history length (paper Table III: "Length of the hashed history: 8").
+const Leaves = 8
+
+// Units is the number of single units in the complete tree over Leaves
+// inputs.
+const Units = Leaves - 1
+
+// EncBits is the width of the formula encoding: 2 bits per unit plus the
+// global inversion bit.
+const EncBits = 2*Units + 1 // 15
+
+// NumFormulas is the size of the extended-formula search space, the
+// population that randomized formula testing samples from.
+const NumFormulas = 1 << EncBits // 32768
+
+// Formula is a 15-bit extended-ROMBF encoding.
+//
+// Bit layout (LSB first): bits [2i, 2i+1] hold the Op of unit i for
+// i in 0..6; bit 14 is the global inversion flag. Units 0-3 combine leaf
+// pairs (b0,b1) (b2,b3) (b4,b5) (b6,b7); units 4-5 combine the outputs of
+// units (0,1) and (2,3); unit 6 combines units 4 and 5.
+type Formula uint16
+
+// Valid reports whether f fits in EncBits.
+func (f Formula) Valid() bool { return f < NumFormulas }
+
+// UnitOp returns the operation of unit i (0..6).
+func (f Formula) UnitOp(i int) Op {
+	if i < 0 || i >= Units {
+		panic("formula: unit index out of range")
+	}
+	return Op((f >> (2 * uint(i))) & 3)
+}
+
+// Inverted reports whether the global inversion bit is set.
+func (f Formula) Inverted() bool { return f&(1<<(2*Units)) != 0 }
+
+// New builds a Formula from unit operations and the inversion flag.
+// ops must have exactly Units elements.
+func New(ops []Op, inverted bool) Formula {
+	if len(ops) != Units {
+		panic("formula: New requires exactly 7 unit ops")
+	}
+	var f Formula
+	for i, o := range ops {
+		if o >= NumOps {
+			panic("formula: invalid op")
+		}
+		f |= Formula(o) << (2 * uint(i))
+	}
+	if inverted {
+		f |= 1 << (2 * Units)
+	}
+	return f
+}
+
+// Uniform returns the formula whose seven units all use op, with the given
+// inversion flag. Handy for constructing ground-truth workload behaviours.
+func Uniform(op Op, inverted bool) Formula {
+	ops := make([]Op, Units)
+	for i := range ops {
+		ops[i] = op
+	}
+	return New(ops, inverted)
+}
+
+// Eval evaluates the formula on an 8-bit hashed history. Bit i of h is
+// leaf b_i, with b0 the most recent branch outcome.
+func (f Formula) Eval(h uint8) bool {
+	var layer [Leaves]bool
+	for i := 0; i < Leaves; i++ {
+		layer[i] = h&(1<<uint(i)) != 0
+	}
+	// Layer 0: units 0-3.
+	var mid [4]bool
+	for i := 0; i < 4; i++ {
+		mid[i] = f.UnitOp(i).Apply(layer[2*i], layer[2*i+1])
+	}
+	// Layer 1: units 4-5.
+	u4 := f.UnitOp(4).Apply(mid[0], mid[1])
+	u5 := f.UnitOp(5).Apply(mid[2], mid[3])
+	// Layer 2: unit 6, then global inversion.
+	out := f.UnitOp(6).Apply(u4, u5)
+	if f.Inverted() {
+		out = !out
+	}
+	return out
+}
+
+// DominantOp classifies the formula for the paper's Fig 7 style operation
+// breakdown: if a strict majority (>= 4 of 7) of units share one
+// operation, that operation is the class; otherwise the formula counts as
+// "Others". The ok result is false for the mixed case.
+func (f Formula) DominantOp() (Op, bool) {
+	var counts [NumOps]int
+	for i := 0; i < Units; i++ {
+		counts[f.UnitOp(i)]++
+	}
+	for op, n := range counts {
+		if n >= 4 {
+			return Op(op), true
+		}
+	}
+	return 0, false
+}
+
+// String renders the formula as a readable expression over b0..b7.
+func (f Formula) String() string {
+	leaf := func(i int) string { return fmt.Sprintf("b%d", i) }
+	unit := func(op Op, a, b string) string {
+		var sym string
+		switch op {
+		case And:
+			sym = "&"
+		case Or:
+			sym = "|"
+		case Impl:
+			sym = "->"
+		case Cnimpl:
+			sym = "!<-"
+		}
+		return "(" + a + sym + b + ")"
+	}
+	var mid [4]string
+	for i := 0; i < 4; i++ {
+		mid[i] = unit(f.UnitOp(i), leaf(2*i), leaf(2*i+1))
+	}
+	u4 := unit(f.UnitOp(4), mid[0], mid[1])
+	u5 := unit(f.UnitOp(5), mid[2], mid[3])
+	out := unit(f.UnitOp(6), u4, u5)
+	if f.Inverted() {
+		out = "!" + out
+	}
+	return out
+}
+
+// --- Truth tables -------------------------------------------------------
+
+// TruthTable is the formula's output for all 256 possible hashed
+// histories, packed as a 256-bit bitmap: bit h of word h/64 is the
+// prediction for hashed history h.
+type TruthTable [4]uint64
+
+// Bit returns the table entry for hashed history h.
+func (t TruthTable) Bit(h uint8) bool {
+	return t[h>>6]&(1<<(uint(h)&63)) != 0
+}
+
+// PopCount returns the number of taken entries.
+func (t TruthTable) PopCount() int {
+	n := 0
+	for _, w := range t {
+		n += popcount64(w)
+	}
+	return n
+}
+
+func popcount64(x uint64) int {
+	// Hacker's Delight population count; avoids importing math/bits in a
+	// hot inner loop for no reason other than clarity — bits.OnesCount64
+	// compiles to POPCNT anyway, so use it via the small wrapper below.
+	return onesCount64(x)
+}
+
+// leafTables[i] is the truth table of the bare leaf b_i.
+var leafTables = func() [Leaves]TruthTable {
+	var ts [Leaves]TruthTable
+	for i := 0; i < Leaves; i++ {
+		for h := 0; h < 256; h++ {
+			if h&(1<<uint(i)) != 0 {
+				ts[i][h>>6] |= 1 << (uint(h) & 63)
+			}
+		}
+	}
+	return ts
+}()
+
+func ttApply(op Op, a, b TruthTable) TruthTable {
+	var out TruthTable
+	switch op {
+	case And:
+		for i := range out {
+			out[i] = a[i] & b[i]
+		}
+	case Or:
+		for i := range out {
+			out[i] = a[i] | b[i]
+		}
+	case Impl:
+		for i := range out {
+			out[i] = ^a[i] | b[i]
+		}
+	case Cnimpl:
+		for i := range out {
+			out[i] = ^a[i] & b[i]
+		}
+	default:
+		panic("formula: invalid op")
+	}
+	return out
+}
+
+// Table computes the formula's full truth table with bit-parallel
+// operations (4 words per level instead of 256 scalar evaluations). This
+// is what makes Algorithm 1 cheap: a formula's misprediction count over
+// the profile reduces to popcounts against the T/NT histograms.
+func (f Formula) Table() TruthTable {
+	var mid [4]TruthTable
+	for i := 0; i < 4; i++ {
+		mid[i] = ttApply(f.UnitOp(i), leafTables[2*i], leafTables[2*i+1])
+	}
+	u4 := ttApply(f.UnitOp(4), mid[0], mid[1])
+	u5 := ttApply(f.UnitOp(5), mid[2], mid[3])
+	out := ttApply(f.UnitOp(6), u4, u5)
+	if f.Inverted() {
+		for i := range out {
+			out[i] = ^out[i]
+		}
+	}
+	return out
+}
+
+// --- Monotone (baseline ROMBF) trees -------------------------------------
+
+// Monotone is a read-once monotone Boolean formula over n leaves
+// (n a power of two), using only AND and OR: the PACT 2001 baseline.
+// The encoding uses one bit per unit (0 = AND, 1 = OR), n-1 bits total,
+// unit order matching Formula's layer layout.
+type Monotone struct {
+	// N is the number of leaves (4 or 8 in the paper's variants).
+	N int
+	// Enc holds the n-1 unit bits.
+	Enc uint16
+}
+
+// MonotoneFormulas returns the number of distinct monotone trees over n
+// leaves: 2^(n-1).
+func MonotoneFormulas(n int) int { return 1 << uint(n-1) }
+
+// NewMonotone validates n and enc and returns the formula.
+func NewMonotone(n int, enc uint16) (Monotone, error) {
+	if n != 2 && n != 4 && n != 8 && n != 16 {
+		return Monotone{}, fmt.Errorf("formula: monotone leaf count %d not a supported power of two", n)
+	}
+	if int(enc) >= MonotoneFormulas(n) {
+		return Monotone{}, fmt.Errorf("formula: monotone encoding %d out of range for n=%d", enc, n)
+	}
+	return Monotone{N: n, Enc: enc}, nil
+}
+
+// Eval evaluates the monotone tree on the last-N raw history bits
+// (bit i of h = i-th most recent outcome).
+func (m Monotone) Eval(h uint16) bool {
+	n := m.N
+	var cur [16]bool
+	for i := 0; i < n; i++ {
+		cur[i] = h&(1<<uint(i)) != 0
+	}
+	unit := 0
+	for width := n; width > 1; width /= 2 {
+		for i := 0; i < width/2; i++ {
+			or := m.Enc&(1<<uint(unit)) != 0
+			a, b := cur[2*i], cur[2*i+1]
+			if or {
+				cur[i] = a || b
+			} else {
+				cur[i] = a && b
+			}
+			unit++
+		}
+	}
+	return cur[0]
+}
+
+// String renders the monotone tree.
+func (m Monotone) String() string {
+	n := m.N
+	cur := make([]string, n)
+	for i := range cur {
+		cur[i] = fmt.Sprintf("b%d", i)
+	}
+	unit := 0
+	for width := n; width > 1; width /= 2 {
+		next := make([]string, width/2)
+		for i := 0; i < width/2; i++ {
+			sym := "&"
+			if m.Enc&(1<<uint(unit)) != 0 {
+				sym = "|"
+			}
+			next[i] = "(" + cur[2*i] + sym + cur[2*i+1] + ")"
+			unit++
+		}
+		cur = next
+	}
+	return strings.Join(cur, "")
+}

@@ -1,0 +1,182 @@
+// Package frontend models the decoupled FDIP (Fetch-Directed Instruction
+// Prefetching) frontend of the simulated machine (paper §I/§II-B, Table
+// II: 24-entry FTQ).
+//
+// The model captures the property the paper's limit study depends on: as
+// long as the branch predictor steers the fetch target queue down the
+// correct path, FDIP runs ahead and hides instruction-cache misses; a
+// pipeline squash empties the FTQ, and until it refills, demand fetches
+// are exposed to the cache hierarchy's latency. Branch mispredictions
+// therefore cost both the squash penalty *and* a window of exposed
+// I-cache misses — which is why eliminating them also removes "frontend"
+// stall cycles (paper Fig 1).
+package frontend
+
+import (
+	"github.com/whisper-sim/whisper/internal/btb"
+	"github.com/whisper-sim/whisper/internal/cache"
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// Config tunes the FDIP model.
+type Config struct {
+	// FTQDepth is the fetch-target-queue depth in fetch blocks
+	// (Table II: 24).
+	FTQDepth int
+	// ExposedBlocks is how many fetch blocks after a squash see demand
+	// I-cache latency before FDIP is running ahead again. It defaults
+	// to FTQDepth/3: the queue needs only a partial refill before
+	// prefetches lead demand again.
+	ExposedBlocks int
+	// BTBMissPenalty is the frontend bubble (cycles) when a taken
+	// control transfer misses the BTB and fetch must redirect.
+	BTBMissPenalty int
+	// Latency gives the cache hierarchy's per-level costs.
+	Latency cache.Latency
+	// MaxLinesPerRun caps the I-cache walks of one sequential run.
+	MaxLinesPerRun int
+}
+
+// DefaultConfig mirrors Table II.
+func DefaultConfig() Config {
+	return Config{
+		FTQDepth:       24,
+		ExposedBlocks:  10,
+		BTBMissPenalty: 3,
+		Latency:        cache.DefaultLatency(),
+		MaxLinesPerRun: 16,
+	}
+}
+
+// Stats are the frontend's cycle-attribution counters.
+type Stats struct {
+	// ExposedMissCycles are demand I-cache miss cycles paid while the
+	// FTQ refilled after squashes (the "frontend stall" bucket).
+	ExposedMissCycles uint64
+	// BTBMissCycles are redirect bubbles.
+	BTBMissCycles uint64
+	// L1iAccesses / L1iMisses count cache-line traffic.
+	L1iAccesses, L1iMisses uint64
+	// ExposedMisses counts misses that actually stalled the pipeline.
+	ExposedMisses uint64
+	// TargetMispredicts counts wrong target predictions (returns and
+	// indirect jumps) which squash like direction mispredictions.
+	TargetMispredicts uint64
+}
+
+// FDIP is the decoupled-frontend model.
+type FDIP struct {
+	cfg     Config
+	icache  *cache.Hierarchy
+	targets *btb.Frontend
+
+	// exposed counts fetch blocks still demand-exposed after a squash.
+	exposed int
+
+	Stats Stats
+}
+
+// New builds the frontend with a fresh Table II cache hierarchy and
+// target structures.
+func New(cfg Config) *FDIP {
+	if cfg.FTQDepth <= 0 {
+		cfg.FTQDepth = 24
+	}
+	if cfg.ExposedBlocks <= 0 {
+		cfg.ExposedBlocks = cfg.FTQDepth / 3
+	}
+	if cfg.MaxLinesPerRun <= 0 {
+		cfg.MaxLinesPerRun = 16
+	}
+	if cfg.Latency == (cache.Latency{}) {
+		cfg.Latency = cache.DefaultLatency()
+	}
+	return &FDIP{
+		cfg:     cfg,
+		icache:  cache.NewHierarchy("L1i"),
+		targets: btb.NewFrontend(),
+	}
+}
+
+// ICache exposes the hierarchy for reporting.
+func (f *FDIP) ICache() *cache.Hierarchy { return f.icache }
+
+// OnSquash models a pipeline squash: the FTQ drains and the next
+// ExposedBlocks fetch blocks pay demand latency.
+func (f *FDIP) OnSquash() {
+	f.exposed = f.cfg.ExposedBlocks
+}
+
+// FetchRun walks the I-cache lines of a sequential run of instrs
+// instructions starting at startPC and returns the stall cycles the run
+// contributes. While FDIP runs ahead (no recent squash) misses are
+// prefetched and hidden; during the post-squash window they stall.
+func (f *FDIP) FetchRun(startPC uint64, instrs uint32) (stall uint64) {
+	bytes := uint64(instrs) * 4
+	if bytes == 0 {
+		bytes = 4
+	}
+	first := startPC / cache.LineSize
+	last := (startPC + bytes - 1) / cache.LineSize
+	lines := int(last - first + 1)
+	if lines > f.cfg.MaxLinesPerRun {
+		lines = f.cfg.MaxLinesPerRun
+	}
+	demandExposed := f.exposed > 0
+	for i := 0; i < lines; i++ {
+		addr := (first + uint64(i)) * cache.LineSize
+		f.Stats.L1iAccesses++
+		if demandExposed {
+			lvl := f.icache.Access(addr)
+			if lvl != cache.L1 {
+				f.Stats.L1iMisses++
+				f.Stats.ExposedMisses++
+				c := uint64(f.cfg.Latency.Cycles(lvl))
+				stall += c
+				f.Stats.ExposedMissCycles += c
+			}
+		} else {
+			// FDIP prefetches ahead: the fill happens early enough to
+			// hide the latency, but the traffic still shapes cache
+			// contents.
+			lvl := f.icache.Prefetch(addr)
+			if lvl != cache.L1 {
+				f.Stats.L1iMisses++
+			}
+		}
+	}
+	// One fetch block consumed; the FTQ refills one block per run.
+	if f.exposed > 0 {
+		f.exposed--
+	}
+	return stall
+}
+
+// OnControlFlow models target prediction for a control-flow record and
+// returns (stall cycles, squash) where squash reports a wrong-target
+// resteer that empties the FTQ (returns and indirect jumps with wrong
+// predictions).
+func (f *FDIP) OnControlFlow(rec *trace.Record) (stall uint64, squash bool) {
+	tgt, ok := f.targets.PredictTarget(rec)
+	switch rec.Kind {
+	case trace.CondBranch:
+		// Direction prediction is handled by the pipeline; here only the
+		// BTB presence matters for taken branches.
+		if rec.Taken && !ok {
+			stall = uint64(f.cfg.BTBMissPenalty)
+			f.Stats.BTBMissCycles += stall
+		}
+	case trace.UncondDirect, trace.Call:
+		if !ok {
+			stall = uint64(f.cfg.BTBMissPenalty)
+			f.Stats.BTBMissCycles += stall
+		}
+	case trace.Return, trace.IndirectJump:
+		if !ok || tgt != rec.Target {
+			f.Stats.TargetMispredicts++
+			squash = true
+		}
+	}
+	f.targets.UpdateTarget(rec)
+	return stall, squash
+}

@@ -1,0 +1,136 @@
+package frontend
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/cache"
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+func TestDefaultsApplied(t *testing.T) {
+	f := New(Config{})
+	if f.cfg.FTQDepth != 24 || f.cfg.ExposedBlocks != 8 || f.cfg.MaxLinesPerRun != 16 {
+		t.Fatalf("defaults not applied: %+v", f.cfg)
+	}
+	if f.cfg.Latency.Memory == 0 {
+		t.Fatal("latency default missing")
+	}
+}
+
+func TestFetchRunHiddenWhileAhead(t *testing.T) {
+	f := New(DefaultConfig())
+	// No squash yet: cold misses are prefetched, not exposed.
+	stall := f.FetchRun(0x400000, 10)
+	if stall != 0 {
+		t.Fatalf("stall %d while running ahead", stall)
+	}
+	if f.Stats.L1iMisses == 0 {
+		t.Fatal("cold lines should miss (but be hidden)")
+	}
+	if f.Stats.ExposedMisses != 0 {
+		t.Fatal("hidden misses recorded as exposed")
+	}
+}
+
+func TestSquashExposesMisses(t *testing.T) {
+	f := New(DefaultConfig())
+	f.OnSquash()
+	stall := f.FetchRun(0x800000, 10)
+	if stall == 0 {
+		t.Fatal("post-squash cold fetch did not stall")
+	}
+	if f.Stats.ExposedMisses == 0 || f.Stats.ExposedMissCycles == 0 {
+		t.Fatal("exposure not recorded")
+	}
+}
+
+func TestExposureWindowExpires(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ExposedBlocks = 2
+	f := New(cfg)
+	f.OnSquash()
+	f.FetchRun(0x900000, 4) // exposed block 1
+	f.FetchRun(0x910000, 4) // exposed block 2
+	before := f.Stats.ExposedMisses
+	stall := f.FetchRun(0x920000, 4) // window expired: hidden again
+	if stall != 0 || f.Stats.ExposedMisses != before {
+		t.Fatalf("exposure did not expire: stall=%d", stall)
+	}
+}
+
+func TestWarmLinesDontStallEvenExposed(t *testing.T) {
+	f := New(DefaultConfig())
+	f.FetchRun(0xA00000, 10) // warm the lines
+	f.OnSquash()
+	stall := f.FetchRun(0xA00000, 10)
+	if stall != 0 {
+		t.Fatalf("warm lines stalled %d cycles", stall)
+	}
+}
+
+func TestBTBMissPenaltyOnTakenBranch(t *testing.T) {
+	f := New(DefaultConfig())
+	rec := trace.Record{PC: 0x1000, Target: 0x2000, Kind: trace.CondBranch, Taken: true}
+	stall, squash := f.OnControlFlow(&rec)
+	if squash {
+		t.Fatal("BTB miss must not squash")
+	}
+	if stall == 0 {
+		t.Fatal("cold taken branch paid no redirect bubble")
+	}
+	// Trained: second time no bubble.
+	stall2, _ := f.OnControlFlow(&rec)
+	if stall2 != 0 {
+		t.Fatalf("warm BTB still stalls %d", stall2)
+	}
+}
+
+func TestNotTakenBranchNoBTBPenalty(t *testing.T) {
+	f := New(DefaultConfig())
+	rec := trace.Record{PC: 0x1000, Target: 0x2000, Kind: trace.CondBranch, Taken: false}
+	if stall, _ := f.OnControlFlow(&rec); stall != 0 {
+		t.Fatal("not-taken branch paid a redirect bubble")
+	}
+}
+
+func TestReturnMispredictSquashes(t *testing.T) {
+	f := New(DefaultConfig())
+	// Return with an empty RAS: wrong target, must squash.
+	ret := trace.Record{PC: 0x3000, Target: 0x4000, Kind: trace.Return, Taken: true}
+	_, squash := f.OnControlFlow(&ret)
+	if !squash {
+		t.Fatal("cold return did not squash")
+	}
+	if f.Stats.TargetMispredicts != 1 {
+		t.Fatalf("target mispredicts %d", f.Stats.TargetMispredicts)
+	}
+	// Call then return: correct target prediction, no squash.
+	call := trace.Record{PC: 0x5000, Target: 0x6000, Kind: trace.Call, Taken: true}
+	f.OnControlFlow(&call)
+	ret2 := trace.Record{PC: 0x6100, Target: 0x5004, Kind: trace.Return, Taken: true}
+	if _, squash := f.OnControlFlow(&ret2); squash {
+		t.Fatal("paired return squashed")
+	}
+}
+
+func TestICacheAccessor(t *testing.T) {
+	f := New(DefaultConfig())
+	if f.ICache() == nil {
+		t.Fatal("nil icache")
+	}
+	f.FetchRun(0x100, 4)
+	if f.ICache().L1c.Accesses()+f.Stats.L1iAccesses == 0 {
+		t.Fatal("no cache traffic")
+	}
+	_ = cache.LineSize
+}
+
+func TestMaxLinesPerRunCaps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxLinesPerRun = 2
+	f := New(cfg)
+	f.FetchRun(0x400000, 1000) // would span many lines
+	if f.Stats.L1iAccesses > 2 {
+		t.Fatalf("run walked %d lines, cap 2", f.Stats.L1iAccesses)
+	}
+}

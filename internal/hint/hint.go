@@ -1,0 +1,224 @@
+// Package hint implements the brhint instruction Whisper injects at link
+// time and the small hardware hint buffer that serves it at run time
+// (paper §IV, Fig 11).
+//
+// A brhint carries four fields, 33 bits total:
+//
+//	History (4b) | Boolean formula (15b) | Bias (2b) | PC pointer (12b)
+//
+// History indexes the 16-entry geometric length series (Table III); the
+// formula is the 15-bit extended-ROMBF encoding of internal/formula; Bias
+// short-circuits always/never-taken branches; the PC pointer is the
+// signed byte offset from the hint to its branch, which is what limits
+// hint hosts to ±2KB of the branch.
+package hint
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/formula"
+)
+
+// Bias is the 2-bit bias field.
+type Bias uint8
+
+// Bias values.
+const (
+	// BiasNone means the formula decides.
+	BiasNone Bias = iota
+	// BiasTaken forces always-taken.
+	BiasTaken
+	// BiasNotTaken forces never-taken.
+	BiasNotTaken
+
+	numBias
+)
+
+// Field widths of the brhint encoding.
+const (
+	HistoryBits = 4
+	FormulaBits = formula.EncBits // 15
+	BiasBits    = 2
+	OffsetBits  = 12
+
+	// TotalBits is the full brhint payload width.
+	TotalBits = HistoryBits + FormulaBits + BiasBits + OffsetBits // 33
+)
+
+// MaxOffset is the reach of the 12-bit signed PC pointer in bytes.
+const MaxOffset = 1 << (OffsetBits - 1) // 2048
+
+// BrHint is a decoded brhint instruction.
+type BrHint struct {
+	// HistIdx selects one of the 16 geometric history lengths.
+	HistIdx uint8
+	// Formula is the 15-bit extended-ROMBF encoding.
+	Formula formula.Formula
+	// Bias short-circuits constant branches.
+	Bias Bias
+	// Offset is the signed byte distance from the hint to the branch
+	// (branchPC = hintPC + Offset), in [-2048, 2047].
+	Offset int16
+}
+
+// Validate checks field ranges.
+func (h BrHint) Validate() error {
+	if h.HistIdx >= 1<<HistoryBits {
+		return fmt.Errorf("hint: history index %d exceeds %d bits", h.HistIdx, HistoryBits)
+	}
+	if !h.Formula.Valid() {
+		return fmt.Errorf("hint: formula %#x exceeds %d bits", uint16(h.Formula), FormulaBits)
+	}
+	if h.Bias >= numBias {
+		return fmt.Errorf("hint: bias %d invalid", h.Bias)
+	}
+	if h.Offset < -MaxOffset || h.Offset >= MaxOffset {
+		return fmt.Errorf("hint: offset %d outside 12-bit signed range", h.Offset)
+	}
+	return nil
+}
+
+// Encode packs the hint into the low TotalBits of a uint64, layout
+// (LSB first): offset(12) | bias(2) | formula(15) | history(4).
+func (h BrHint) Encode() (uint64, error) {
+	if err := h.Validate(); err != nil {
+		return 0, err
+	}
+	v := uint64(uint16(h.Offset)) & (1<<OffsetBits - 1)
+	v |= uint64(h.Bias) << OffsetBits
+	v |= uint64(h.Formula) << (OffsetBits + BiasBits)
+	v |= uint64(h.HistIdx) << (OffsetBits + BiasBits + FormulaBits)
+	return v, nil
+}
+
+// Decode unpacks an encoded brhint.
+func Decode(v uint64) (BrHint, error) {
+	if v >= 1<<TotalBits {
+		return BrHint{}, fmt.Errorf("hint: encoding %#x exceeds %d bits", v, TotalBits)
+	}
+	raw := uint16(v & (1<<OffsetBits - 1))
+	// Sign-extend the 12-bit offset.
+	off := int16(raw << (16 - OffsetBits))
+	off >>= 16 - OffsetBits
+	h := BrHint{
+		Offset:  off,
+		Bias:    Bias((v >> OffsetBits) & (1<<BiasBits - 1)),
+		Formula: formula.Formula((v >> (OffsetBits + BiasBits)) & (1<<FormulaBits - 1)),
+		HistIdx: uint8(v >> (OffsetBits + BiasBits + FormulaBits)),
+	}
+	return h, h.Validate()
+}
+
+// BufferSize is the hint buffer capacity (Table III: 32 entries).
+const BufferSize = 32
+
+// Buffer is the small fully-associative LRU hint buffer. Executing a
+// brhint inserts its parameters keyed by the branch PC it points at;
+// prediction looks the branch PC up.
+type Buffer struct {
+	capacity int
+	entries  map[uint64]*bufEntry
+	// LRU list, most recent first.
+	head, tail *bufEntry
+
+	// Lookups and Hits count prediction-side traffic.
+	Lookups, Hits uint64
+	// Inserts counts executed hints.
+	Inserts uint64
+}
+
+type bufEntry struct {
+	pc         uint64
+	hint       BrHint
+	prev, next *bufEntry
+}
+
+// NewBuffer creates a buffer with the given capacity (default BufferSize
+// when 0).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = BufferSize
+	}
+	return &Buffer{
+		capacity: capacity,
+		entries:  make(map[uint64]*bufEntry, capacity),
+	}
+}
+
+// Len returns the number of resident entries.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Capacity returns the configured capacity.
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Insert records an executed hint for branchPC, refreshing recency.
+func (b *Buffer) Insert(branchPC uint64, h BrHint) {
+	b.Inserts++
+	if e, ok := b.entries[branchPC]; ok {
+		e.hint = h
+		b.moveToFront(e)
+		return
+	}
+	e := &bufEntry{pc: branchPC, hint: h}
+	b.entries[branchPC] = e
+	b.pushFront(e)
+	if len(b.entries) > b.capacity {
+		victim := b.tail
+		b.unlink(victim)
+		delete(b.entries, victim.pc)
+	}
+}
+
+// Lookup returns the hint for branchPC if resident, refreshing recency.
+func (b *Buffer) Lookup(branchPC uint64) (BrHint, bool) {
+	b.Lookups++
+	e, ok := b.entries[branchPC]
+	if !ok {
+		return BrHint{}, false
+	}
+	b.Hits++
+	b.moveToFront(e)
+	return e.hint, true
+}
+
+// HitRate returns Hits/Lookups.
+func (b *Buffer) HitRate() float64 {
+	if b.Lookups == 0 {
+		return 0
+	}
+	return float64(b.Hits) / float64(b.Lookups)
+}
+
+func (b *Buffer) pushFront(e *bufEntry) {
+	e.prev = nil
+	e.next = b.head
+	if b.head != nil {
+		b.head.prev = e
+	}
+	b.head = e
+	if b.tail == nil {
+		b.tail = e
+	}
+}
+
+func (b *Buffer) unlink(e *bufEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (b *Buffer) moveToFront(e *bufEntry) {
+	if b.head == e {
+		return
+	}
+	b.unlink(e)
+	b.pushFront(e)
+}

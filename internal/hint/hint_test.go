@@ -1,0 +1,173 @@
+package hint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/whisper-sim/whisper/internal/formula"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []BrHint{
+		{HistIdx: 0, Formula: 0, Bias: BiasNone, Offset: 0},
+		{HistIdx: 15, Formula: formula.NumFormulas - 1, Bias: BiasNotTaken, Offset: 2047},
+		{HistIdx: 7, Formula: 0x1234, Bias: BiasTaken, Offset: -2048},
+		{HistIdx: 3, Formula: 0x7FFF, Bias: BiasNone, Offset: -1},
+	}
+	for _, h := range cases {
+		v, err := h.Encode()
+		if err != nil {
+			t.Fatalf("encode %+v: %v", h, err)
+		}
+		if v >= 1<<TotalBits {
+			t.Fatalf("encoding %#x exceeds %d bits", v, TotalBits)
+		}
+		got, err := Decode(v)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+	}
+}
+
+func TestTotalBitsIs33(t *testing.T) {
+	if TotalBits != 33 {
+		t.Fatalf("TotalBits = %d, want 33 (4+15+2+12)", TotalBits)
+	}
+}
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	bad := []BrHint{
+		{HistIdx: 16},
+		{Formula: formula.NumFormulas},
+		{Bias: 3},
+		{Offset: 2048},
+		{Offset: -2049},
+	}
+	for _, h := range bad {
+		if _, err := h.Encode(); err == nil {
+			t.Fatalf("bad hint %+v accepted", h)
+		}
+	}
+}
+
+func TestDecodeRejectsOverflow(t *testing.T) {
+	if _, err := Decode(1 << TotalBits); err == nil {
+		t.Fatal("oversized encoding accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(hi uint8, fo uint16, bi uint8, off int16) bool {
+		h := BrHint{
+			HistIdx: hi & 0xF,
+			Formula: formula.Formula(fo & (formula.NumFormulas - 1)),
+			Bias:    Bias(bi % 3),
+			Offset:  int16(int32(off) % MaxOffset),
+		}
+		v, err := h.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(v)
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferInsertLookup(t *testing.T) {
+	b := NewBuffer(0)
+	if b.Capacity() != BufferSize {
+		t.Fatalf("default capacity %d", b.Capacity())
+	}
+	h := BrHint{HistIdx: 2, Formula: 7, Bias: BiasNone, Offset: 100}
+	b.Insert(0x4000, h)
+	got, ok := b.Lookup(0x4000)
+	if !ok || got != h {
+		t.Fatalf("lookup = %+v, %v", got, ok)
+	}
+	if _, ok := b.Lookup(0x5000); ok {
+		t.Fatal("phantom hit")
+	}
+	if b.Lookups != 2 || b.Hits != 1 || b.Inserts != 1 {
+		t.Fatalf("counters: %d/%d/%d", b.Lookups, b.Hits, b.Inserts)
+	}
+	if b.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", b.HitRate())
+	}
+}
+
+func TestBufferLRUEviction(t *testing.T) {
+	b := NewBuffer(2)
+	b.Insert(1, BrHint{})
+	b.Insert(2, BrHint{})
+	b.Lookup(1) // 1 is now MRU
+	b.Insert(3, BrHint{})
+	if _, ok := b.Lookup(2); ok {
+		t.Fatal("LRU victim survived")
+	}
+	if _, ok := b.Lookup(1); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if _, ok := b.Lookup(3); !ok {
+		t.Fatal("new entry missing")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len %d", b.Len())
+	}
+}
+
+func TestBufferReinsertRefreshes(t *testing.T) {
+	b := NewBuffer(2)
+	b.Insert(1, BrHint{HistIdx: 1})
+	b.Insert(2, BrHint{})
+	b.Insert(1, BrHint{HistIdx: 9}) // refresh + update payload
+	b.Insert(3, BrHint{})           // must evict 2, not 1
+	if _, ok := b.Lookup(2); ok {
+		t.Fatal("refreshed entry was evicted instead of LRU")
+	}
+	got, ok := b.Lookup(1)
+	if !ok || got.HistIdx != 9 {
+		t.Fatalf("payload not updated: %+v %v", got, ok)
+	}
+}
+
+func TestBufferCapacityOne(t *testing.T) {
+	b := NewBuffer(1)
+	b.Insert(1, BrHint{})
+	b.Insert(2, BrHint{})
+	if _, ok := b.Lookup(1); ok {
+		t.Fatal("capacity-1 buffer retained two entries")
+	}
+	if _, ok := b.Lookup(2); !ok {
+		t.Fatal("latest entry missing")
+	}
+}
+
+func TestBufferStressConsistency(t *testing.T) {
+	b := NewBuffer(32)
+	for i := uint64(0); i < 10000; i++ {
+		b.Insert(i%100, BrHint{HistIdx: uint8(i % 16)})
+		if i%3 == 0 {
+			b.Lookup(i % 97)
+		}
+		if b.Len() > 32 {
+			t.Fatalf("buffer exceeded capacity: %d", b.Len())
+		}
+	}
+	// Walk the LRU list and confirm it matches the map.
+	n := 0
+	for e := b.head; e != nil; e = e.next {
+		if b.entries[e.pc] != e {
+			t.Fatal("list/map divergence")
+		}
+		n++
+	}
+	if n != b.Len() {
+		t.Fatalf("list length %d != map %d", n, b.Len())
+	}
+}

@@ -1,0 +1,182 @@
+// Package mtage implements an unlimited-storage MTAGE-SC-style predictor,
+// the paper's upper-bound comparison point ("the best predictor in the
+// unlimited storage category of CBP-5", §V-B).
+//
+// With no storage constraint there are no tags, no associativity and no
+// eviction: each geometric history component is a hash map from
+// (PC, history hash) to a saturating counter, and a statistical corrector
+// combines per-PC bias with the longest-match prediction. The predictor
+// still mispredicts on compulsory (first-seen substream) and
+// data-dependent branches, which is exactly the residual the paper reports
+// for MTAGE-SC (branch-MPKI 1.4 where 1MB TAGE-SC-L sits at 1.9).
+//
+// Counters are stored by value (one byte per substream) so the unbounded
+// tables stay affordable at multi-million-record windows.
+package mtage
+
+import (
+	"github.com/whisper-sim/whisper/internal/bpu"
+)
+
+// history lengths for the unlimited components: a denser geometric series
+// than the 64KB TAGE, reaching the full 1024-bit history window.
+var histLens = []int{2, 4, 6, 9, 13, 19, 29, 43, 64, 96, 143, 214, 320, 480, 720, 1024}
+
+type key struct {
+	pc uint64
+	h  uint64
+}
+
+// ctr is a 3-bit saturating counter in [0,7], weak threshold 4,
+// stored as one byte.
+type ctr uint8
+
+func (c ctr) taken() bool     { return c > 3 }
+func (c ctr) confident() bool { return c == 0 || c == 7 }
+func (c ctr) update(taken bool) ctr {
+	if taken {
+		if c < 7 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// MTageSC is an unlimited-storage multi-component TAGE with a statistical
+// corrector. Not safe for concurrent use.
+type MTageSC struct {
+	comps []map[key]ctr
+	base  map[uint64]ctr // per-PC bias component
+	hist  bpu.History
+
+	// trust is a per-PC 4-bit counter [0,15] (weak 8) deciding whether
+	// long-history matches have been reliable for the PC.
+	trust map[uint64]uint8
+
+	last lastPred
+}
+
+type lastPred struct {
+	pc       uint64
+	valid    bool
+	keys     []key
+	provider int // component index of longest confident match, -1 if none
+	pred     bool
+	basePred bool
+}
+
+// New returns an empty unlimited predictor.
+func New() *MTageSC {
+	m := &MTageSC{
+		comps: make([]map[key]ctr, len(histLens)),
+		base:  make(map[uint64]ctr),
+		trust: make(map[uint64]uint8),
+	}
+	for i := range m.comps {
+		m.comps[i] = make(map[key]ctr)
+	}
+	m.last.keys = make([]key, len(histLens))
+	return m
+}
+
+// Name implements bpu.Predictor.
+func (m *MTageSC) Name() string { return "mtage-sc-unlimited" }
+
+// Predict implements bpu.Predictor.
+func (m *MTageSC) Predict(pc uint64) bool {
+	lp := &m.last
+	lp.pc = pc
+	lp.valid = true
+	lp.provider = -1
+
+	bc, ok := m.base[pc]
+	if ok {
+		lp.basePred = bc.taken()
+	} else {
+		lp.basePred = true // static taken default
+	}
+	lp.pred = lp.basePred
+
+	for i := len(histLens) - 1; i >= 0; i-- {
+		k := key{pc: pc, h: m.hist.Hash(pc, histLens[i])}
+		lp.keys[i] = k
+		if lp.provider < 0 {
+			if c, ok := m.comps[i][k]; ok && c.confident() {
+				lp.provider = i
+				lp.pred = c.taken()
+			}
+		}
+	}
+	if lp.provider >= 0 {
+		// Statistical corrector: if long-history matches have been
+		// unreliable for this PC, fall back to the per-PC bias.
+		if tc, ok := m.trust[pc]; ok && tc <= 7 {
+			lp.pred = lp.basePred
+		}
+	}
+	return lp.pred
+}
+
+// Update implements bpu.Predictor.
+func (m *MTageSC) Update(pc uint64, taken bool) {
+	lp := &m.last
+	if !lp.valid || lp.pc != pc {
+		m.Predict(pc)
+	}
+	lp.valid = false
+
+	bc, ok := m.base[pc]
+	if !ok {
+		bc = 4 // weak taken
+	}
+	m.base[pc] = bc.update(taken)
+
+	if lp.provider >= 0 {
+		provCorrect := m.comps[lp.provider][lp.keys[lp.provider]].taken() == taken
+		tc, ok := m.trust[pc]
+		if !ok {
+			tc = 8
+		}
+		if provCorrect {
+			if tc < 15 {
+				tc++
+			}
+		} else if tc > 0 {
+			tc--
+		}
+		m.trust[pc] = tc
+	}
+
+	// Train every component on its substream; unlimited storage means
+	// every substream gets its own counter.
+	for i := range m.comps {
+		c, ok := m.comps[i][lp.keys[i]]
+		if !ok {
+			// Bias the fresh counter toward the observed outcome so a
+			// second occurrence already predicts it confidently.
+			if taken {
+				m.comps[i][lp.keys[i]] = 7
+			} else {
+				m.comps[i][lp.keys[i]] = 0
+			}
+			continue
+		}
+		m.comps[i][lp.keys[i]] = c.update(taken)
+	}
+
+	m.hist.Push(taken)
+}
+
+// Entries returns the total number of allocated component entries, a
+// proxy for the unbounded storage the predictor has consumed.
+func (m *MTageSC) Entries() int {
+	n := len(m.base)
+	for i := range m.comps {
+		n += len(m.comps[i])
+	}
+	return n
+}

@@ -1,0 +1,197 @@
+// Package pipeline is the trace-driven cycle-accounting model of the
+// simulated machine (paper Table II: 3.2GHz 6-wide OOO, 24-entry FTQ,
+// 224-entry ROB), the Scarab stand-in of this reproduction.
+//
+// Rather than simulating structures cycle by cycle, the model charges
+// each retired record its steady-state cost and attributes extra cycles
+// to the stall sources the paper's evaluation decomposes (Fig 1):
+//
+//   - base work: instructions / width,
+//   - squash cycles: a fixed pipeline-refill penalty per direction
+//     misprediction (and per wrong-target return/indirect resteer),
+//   - frontend cycles: demand I-cache misses exposed while the FTQ
+//     refills after a squash, plus BTB redirect bubbles.
+//
+// The decomposition is exactly what lets the experiments reproduce the
+// paper's speedup splits: an ideal direction predictor removes the squash
+// bucket and (through FDIP) most of the frontend bucket.
+package pipeline
+
+import (
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/frontend"
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// Config parameterizes the machine.
+type Config struct {
+	// Width is the retire width (Table II: 6-wide).
+	Width int
+	// SquashPenalty is the pipeline-refill cost of a misprediction in
+	// cycles (fetch-to-execute depth of a modern OOO core).
+	SquashPenalty int
+	// Frontend configures the FDIP model.
+	Frontend frontend.Config
+}
+
+// DefaultConfig mirrors Table II.
+func DefaultConfig() Config {
+	return Config{
+		Width:         6,
+		SquashPenalty: 20,
+		Frontend:      frontend.DefaultConfig(),
+	}
+}
+
+// RecordHook observes every retired record; Whisper's runtime uses it to
+// model brhint execution at host retirement.
+type RecordHook interface {
+	OnRecord(rec *trace.Record)
+}
+
+// Result carries the run's counters and attributions.
+type Result struct {
+	// Records and Instrs describe the measured window.
+	Records, Instrs uint64
+	// CondExecs / CondMisp are conditional-branch direction counts.
+	CondExecs, CondMisp uint64
+	// Cycle accounting.
+	Cycles         uint64
+	BaseCycles     uint64
+	SquashCycles   uint64
+	FrontendCycles uint64
+	// Frontend detail.
+	Frontend frontend.Stats
+	// Warmup describes how many leading records trained without being
+	// measured.
+	WarmupRecords uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// MPKI returns conditional-branch mispredictions per kilo-instruction
+// (CBP-5 methodology).
+func (r *Result) MPKI() float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	return float64(r.CondMisp) / float64(r.Instrs) * 1000
+}
+
+// MispRate returns mispredictions per conditional execution.
+func (r *Result) MispRate() float64 {
+	if r.CondExecs == 0 {
+		return 0
+	}
+	return float64(r.CondMisp) / float64(r.CondExecs)
+}
+
+// Options control a run.
+type Options struct {
+	Config Config
+	// WarmupRecords train the predictor and caches without counting
+	// toward the measured window (paper Fig 22).
+	WarmupRecords uint64
+	// Hook, when non-nil, observes every retired record (hint
+	// execution).
+	Hook RecordHook
+}
+
+// Run drives pred over the stream and returns the accounting.
+func Run(s trace.Stream, pred bpu.Predictor, opt Options) Result {
+	cfg := opt.Config
+	if cfg.Width <= 0 {
+		cfg = DefaultConfig()
+	}
+	fe := frontend.New(cfg.Frontend)
+	var res Result
+	res.WarmupRecords = opt.WarmupRecords
+
+	var rec trace.Record
+	var instrRemainder uint64
+	var warmup = opt.WarmupRecords
+	var seen uint64
+	measuring := warmup == 0
+	prevTarget := uint64(0)
+	var feAtMeasure frontend.Stats
+
+	for s.Next(&rec) {
+		seen++
+		if !measuring && seen > warmup {
+			measuring = true
+			// Reset measured counters; structures stay warm.
+			res = Result{WarmupRecords: warmup}
+			instrRemainder = 0
+			feAtMeasure = fe.Stats
+		}
+
+		instrs := uint64(rec.Instrs) + 1
+		res.Records++
+		res.Instrs += instrs
+
+		// Base work: width-limited retirement.
+		instrRemainder += instrs
+		res.BaseCycles += instrRemainder / uint64(cfg.Width)
+		instrRemainder %= uint64(cfg.Width)
+
+		// Frontend: fetch the sequential run feeding this record.
+		start := prevTarget
+		if start == 0 {
+			start = rec.PC
+		}
+		res.FrontendCycles += fe.FetchRun(start, rec.Instrs+1)
+
+		// Target prediction.
+		feStall, targetSquash := fe.OnControlFlow(&rec)
+		res.FrontendCycles += feStall
+		if targetSquash {
+			res.SquashCycles += uint64(cfg.SquashPenalty)
+			fe.OnSquash()
+		}
+
+		// Direction prediction for conditionals.
+		if rec.Kind == trace.CondBranch {
+			res.CondExecs++
+			if o, ok := pred.(bpu.OraclePrimer); ok {
+				o.Prime(rec.Taken)
+			}
+			if pred.Predict(rec.PC) != rec.Taken {
+				res.CondMisp++
+				res.SquashCycles += uint64(cfg.SquashPenalty)
+				fe.OnSquash()
+			}
+			pred.Update(rec.PC, rec.Taken)
+		}
+
+		if opt.Hook != nil {
+			opt.Hook.OnRecord(&rec)
+		}
+		if rec.Taken {
+			prevTarget = rec.Target
+		} else {
+			prevTarget = rec.PC + 4
+		}
+	}
+	res.Frontend = subStats(fe.Stats, feAtMeasure)
+	res.Cycles = res.BaseCycles + res.SquashCycles + res.FrontendCycles
+	return res
+}
+
+// subStats subtracts the warm-up snapshot from the final frontend stats
+// so the result covers only the measured window.
+func subStats(a, b frontend.Stats) frontend.Stats {
+	return frontend.Stats{
+		ExposedMissCycles: a.ExposedMissCycles - b.ExposedMissCycles,
+		BTBMissCycles:     a.BTBMissCycles - b.BTBMissCycles,
+		L1iAccesses:       a.L1iAccesses - b.L1iAccesses,
+		L1iMisses:         a.L1iMisses - b.L1iMisses,
+		ExposedMisses:     a.ExposedMisses - b.ExposedMisses,
+		TargetMispredicts: a.TargetMispredicts - b.TargetMispredicts,
+	}
+}

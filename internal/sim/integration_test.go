@@ -1,0 +1,130 @@
+package sim
+
+// Cross-module integration tests: the binary trace codec, the workload
+// generator, the profiler, and the pipeline must compose without changing
+// results — a trace written to disk and read back is the same experiment.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/profiler"
+	"github.com/whisper-sim/whisper/internal/tage"
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+// roundTrip encodes an app window through the binary codec and returns a
+// stream factory over the decoded bytes.
+func roundTrip(t *testing.T, app *workload.App, input, records int) func() trace.Stream {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := app.Stream(input, records)
+	var rec trace.Record
+	n := 0
+	for s.Next(&rec) {
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n != records {
+		t.Fatalf("encoded %d of %d records", n, records)
+	}
+	data := buf.Bytes()
+	return func() trace.Stream {
+		r, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+}
+
+func TestTraceFileEquivalentPipelineResults(t *testing.T) {
+	app := workload.DataCenterApp("drupal")
+	const n = 60000
+	popt := pipeline.Options{Config: pipeline.DefaultConfig(), WarmupRecords: n / 5}
+
+	direct := pipeline.Run(app.Stream(0, n), tage.New(tage.DefaultConfig()), popt)
+	mk := roundTrip(t, app, 0, n)
+	fromFile := pipeline.Run(mk(), tage.New(tage.DefaultConfig()), popt)
+
+	if direct.CondMisp != fromFile.CondMisp ||
+		direct.Cycles != fromFile.Cycles ||
+		direct.Instrs != fromFile.Instrs {
+		t.Fatalf("trace round-trip changed results: direct %+v vs file %+v",
+			direct, fromFile)
+	}
+}
+
+func TestTraceFileEquivalentProfiles(t *testing.T) {
+	app := workload.DataCenterApp("tomcat")
+	const n = 50000
+	opt := profiler.DefaultOptions()
+
+	p1, err := profiler.Collect(func() trace.Stream { return app.Stream(0, n) },
+		tage.New(tage.DefaultConfig()), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := roundTrip(t, app, 0, n)
+	p2, err := profiler.Collect(mk, tage.New(tage.DefaultConfig()), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Mispreds != p2.Mispreds || p1.CondExecs != p2.CondExecs {
+		t.Fatalf("profiles differ: %d/%d vs %d/%d",
+			p1.Mispreds, p1.CondExecs, p2.Mispreds, p2.CondExecs)
+	}
+	if len(p1.Hard) != len(p2.Hard) {
+		t.Fatalf("hard sets differ: %d vs %d", len(p1.Hard), len(p2.Hard))
+	}
+	for pc, h1 := range p1.Hard {
+		h2, ok := p2.Hard[pc]
+		if !ok {
+			t.Fatalf("branch %#x missing from file-backed profile", pc)
+		}
+		if h1.Misp != h2.Misp || h1.Execs != h2.Execs {
+			t.Fatalf("branch %#x stats differ", pc)
+		}
+		for i := range p1.Lengths {
+			if h1.T[i] != h2.T[i] || h1.NT[i] != h2.NT[i] {
+				t.Fatalf("branch %#x histograms differ at length %d", pc, p1.Lengths[i])
+			}
+		}
+	}
+}
+
+func TestWhisperFromFileBackedProfileMatches(t *testing.T) {
+	// Training from a file-backed stream must produce the same hints as
+	// training from the generator directly.
+	app := workload.DataCenterApp("cassandra")
+	const n = 60000
+
+	direct, err := BuildWhisper(app, BuildOptions{Records: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild by hand from the decoded trace.
+	mk := roundTrip(t, app, 0, n)
+	prof, err := profiler.Collect(mk, Tage64KB(), profiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Hard) != len(direct.Profile.Hard) {
+		t.Fatalf("hard sets differ: %d vs %d", len(prof.Hard), len(direct.Profile.Hard))
+	}
+	if prof.Mispreds != direct.Profile.Mispreds {
+		t.Fatalf("misprediction counts differ: %d vs %d",
+			prof.Mispreds, direct.Profile.Mispreds)
+	}
+}

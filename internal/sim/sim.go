@@ -1,0 +1,154 @@
+// Package sim wires workloads, predictors, and the pipeline model into
+// the end-to-end flows the experiments (and the public API) repeat:
+// profile an application in "production", train Whisper offline, inject
+// hints into the binary, and measure the updated binary on a test input —
+// the paper's Fig 10 usage model.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/cfg"
+	"github.com/whisper-sim/whisper/internal/core"
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/profiler"
+	"github.com/whisper-sim/whisper/internal/tage"
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+// PredictorFactory builds a fresh baseline predictor for a run.
+type PredictorFactory func() bpu.Predictor
+
+// Tage64KB is the paper's default baseline factory.
+func Tage64KB() bpu.Predictor { return tage.New(tage.DefaultConfig()) }
+
+// TageSized returns a factory for a given TAGE-SC-L budget.
+func TageSized(kb int) PredictorFactory {
+	return func() bpu.Predictor { return tage.New(tage.Config{SizeKB: kb}) }
+}
+
+// RunApp measures pred over one (app, input) window.
+func RunApp(app *workload.App, input, records int, pred bpu.Predictor, opt pipeline.Options) pipeline.Result {
+	return pipeline.Run(app.Stream(input, records), pred, opt)
+}
+
+// Speedup returns the IPC improvement of other over base as a fraction
+// (0.028 = 2.8%).
+func Speedup(base, other pipeline.Result) float64 {
+	if base.IPC() == 0 {
+		return 0
+	}
+	return other.IPC()/base.IPC() - 1
+}
+
+// MispReduction returns the fraction of base's mispredictions that other
+// eliminates (0.168 = 16.8%).
+func MispReduction(base, other pipeline.Result) float64 {
+	if base.CondMisp == 0 {
+		return 0
+	}
+	return 1 - float64(other.CondMisp)/float64(base.CondMisp)
+}
+
+// WhisperBuild is everything Whisper produces for one application: the
+// production profile, the trained hints, the dynamic CFG, and the updated
+// binary.
+type WhisperBuild struct {
+	Profile *profiler.Profile
+	Train   *core.TrainResult
+	Graph   *cfg.Graph
+	Binary  *core.Binary
+}
+
+// BuildOptions parameterize the end-to-end build.
+type BuildOptions struct {
+	// TrainInput is the workload input profiled in production (paper:
+	// input #0).
+	TrainInput int
+	// Records is the profiled window length.
+	Records int
+	// Params are Whisper's design parameters.
+	Params core.Params
+	// Baseline builds the profiled (deployed) predictor.
+	Baseline PredictorFactory
+	// Profiler overrides hard-branch selection (zero value = defaults).
+	Profiler profiler.Options
+	// Placement overrides hint placement (zero value = defaults).
+	Placement cfg.PlacementOptions
+}
+
+// DefaultBuildOptions mirror the paper's setup.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		TrainInput: 0,
+		Records:    workload.ScaleSmall.Records(),
+		Params:     core.DefaultParams(),
+		Baseline:   Tage64KB,
+		Profiler:   profiler.DefaultOptions(),
+		Placement:  cfg.DefaultPlacementOptions(),
+	}
+}
+
+// BuildWhisper runs the full offline flow for one application.
+func BuildWhisper(app *workload.App, opt BuildOptions) (*WhisperBuild, error) {
+	if opt.Baseline == nil {
+		opt.Baseline = Tage64KB
+	}
+	if opt.Records <= 0 {
+		opt.Records = workload.ScaleSmall.Records()
+	}
+	if opt.Params.NumLengths == 0 {
+		opt.Params = core.DefaultParams()
+	}
+	if opt.Profiler.MinExecs == 0 && opt.Profiler.Lengths == nil {
+		opt.Profiler = profiler.DefaultOptions()
+	}
+	if opt.Placement.MaxOffset == 0 && opt.Placement.MinPrecision == 0 {
+		opt.Placement = cfg.DefaultPlacementOptions()
+	}
+	mk := func() trace.Stream { return app.Stream(opt.TrainInput, opt.Records) }
+
+	prof, err := profiler.Collect(mk, opt.Baseline(), opt.Profiler)
+	if err != nil {
+		return nil, fmt.Errorf("sim: profiling %s: %w", app.Name(), err)
+	}
+	tr, err := core.Train(prof, opt.Params)
+	if err != nil {
+		return nil, fmt.Errorf("sim: training %s: %w", app.Name(), err)
+	}
+	g := cfg.Build(mk())
+	bin := core.Inject(tr, g, core.InjectOptions{
+		Placement:    opt.Placement,
+		StaticInstrs: staticInstrs(app),
+		WindowInstrs: prof.Instrs,
+	})
+	return &WhisperBuild{Profile: prof, Train: tr, Graph: g, Binary: bin}, nil
+}
+
+// staticInstrs estimates the original binary's static instruction count:
+// each static branch sits in a block of its sequential run plus the
+// branch itself.
+func staticInstrs(app *workload.App) uint64 {
+	// The synthetic blocks average ~6 instructions (24-byte blocks).
+	return uint64(app.StaticBranches()) * 6
+}
+
+// RunWhisper measures the updated binary on the given input with a fresh
+// baseline predictor underneath.
+func (b *WhisperBuild) RunWhisper(app *workload.App, input, records int, baseline PredictorFactory, cfgP pipeline.Config) (pipeline.Result, *core.Runtime) {
+	return b.RunWhisperWarm(app, input, records, baseline, pipeline.Options{Config: cfgP})
+}
+
+// RunWhisperWarm is RunWhisper with full pipeline options (warm-up etc.).
+// The options' Hook is overridden with the Whisper runtime.
+func (b *WhisperBuild) RunWhisperWarm(app *workload.App, input, records int, baseline PredictorFactory, opt pipeline.Options) (pipeline.Result, *core.Runtime) {
+	if baseline == nil {
+		baseline = Tage64KB
+	}
+	rt := core.NewRuntime(baseline(), b.Binary, b.Train.Lengths, 0)
+	opt.Hook = rt
+	res := pipeline.Run(app.Stream(input, records), rt, opt)
+	return res, rt
+}

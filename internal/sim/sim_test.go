@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+const testRecords = 100000
+
+func TestRunAppAndMetrics(t *testing.T) {
+	app := workload.DataCenterApp("postgres")
+	base := RunApp(app, 0, testRecords, Tage64KB(), pipeline.Options{Config: pipeline.DefaultConfig()})
+	ideal := RunApp(app, 0, testRecords, &bpu.Oracle{}, pipeline.Options{Config: pipeline.DefaultConfig()})
+	if Speedup(base, ideal) <= 0 {
+		t.Fatal("ideal speedup not positive")
+	}
+	if MispReduction(base, ideal) != 1 {
+		t.Fatalf("ideal reduction %v, want 1", MispReduction(base, ideal))
+	}
+	if Speedup(base, base) != 0 || MispReduction(base, base) != 0 {
+		t.Fatal("self-comparison not zero")
+	}
+}
+
+func TestTageSizedFactory(t *testing.T) {
+	p := TageSized(128)()
+	if p.Name() != "tage-sc-l-128KB" {
+		t.Fatalf("factory built %q", p.Name())
+	}
+}
+
+func TestBuildWhisperEndToEnd(t *testing.T) {
+	app := workload.DataCenterApp("mysql")
+	opt := DefaultBuildOptions()
+	opt.Records = testRecords
+	b, err := BuildWhisper(app, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Train.Hints) == 0 {
+		t.Fatal("no hints trained")
+	}
+	if b.Binary.Placed == 0 {
+		t.Fatal("no hints placed")
+	}
+
+	base := RunApp(app, 0, testRecords, Tage64KB(), pipeline.Options{Config: pipeline.DefaultConfig()})
+	res, rt := b.RunWhisper(app, 0, testRecords, Tage64KB, pipeline.DefaultConfig())
+	if rt.HintPredictions == 0 {
+		t.Fatal("whisper runtime unused")
+	}
+	red := MispReduction(base, res)
+	sp := Speedup(base, res)
+	t.Logf("same-input reduction %.1f%%, speedup %.2f%% (placed %d, dropped %d)",
+		red*100, sp*100, b.Binary.Placed, b.Binary.Dropped)
+	if red <= 0 {
+		t.Fatalf("whisper did not reduce mispredictions (%.3f)", red)
+	}
+	if sp <= 0 {
+		t.Fatalf("whisper did not speed up (%.4f)", sp)
+	}
+}
+
+func TestBuildWhisperCrossInput(t *testing.T) {
+	// Train on input #0, test on input #1 (the paper's methodology,
+	// §V-A): the reduction must survive the input change.
+	app := workload.DataCenterApp("clang")
+	opt := DefaultBuildOptions()
+	opt.Records = testRecords
+	b, err := BuildWhisper(app, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RunApp(app, 1, testRecords, Tage64KB(), pipeline.Options{Config: pipeline.DefaultConfig()})
+	res, _ := b.RunWhisper(app, 1, testRecords, Tage64KB, pipeline.DefaultConfig())
+	red := MispReduction(base, res)
+	t.Logf("cross-input reduction %.1f%%", red*100)
+	if red <= 0 {
+		t.Fatalf("cross-input reduction %.3f not positive", red)
+	}
+}
+
+func TestBuildWhisperDefaultsFill(t *testing.T) {
+	app := workload.DataCenterApp("kafka")
+	b, err := BuildWhisper(app, BuildOptions{Records: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Profile == nil || b.Train == nil || b.Graph == nil || b.Binary == nil {
+		t.Fatal("incomplete build")
+	}
+}

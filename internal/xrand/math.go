@@ -1,0 +1,7 @@
+package xrand
+
+import "math"
+
+// mathPow isolates the single math dependency of this package so tests can
+// assert the rest of the generator is branch-free integer arithmetic.
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }

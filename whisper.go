@@ -1,0 +1,149 @@
+// Package whisper is the public API of this reproduction of "Whisper:
+// Profile-Guided Branch Misprediction Elimination for Data Center
+// Applications" (Khan et al., MICRO 2022).
+//
+// The package re-exports the pieces a downstream user needs to run the
+// full usage model of the paper's Fig 10:
+//
+//  1. pick or synthesize an application workload (Apps, NewApp),
+//  2. profile it in "production" under a deployed predictor and train
+//     Whisper hints offline (Optimize),
+//  3. evaluate the updated binary on another input against the baseline
+//     (Build.Evaluate), and
+//  4. reproduce any of the paper's tables and figures (the Experiments
+//     aliases, or the cmd/experiments binary).
+//
+// Implementation packages live under internal/; the aliases here are the
+// supported surface.
+package whisper
+
+import (
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/core"
+	"github.com/whisper-sim/whisper/internal/mtage"
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/sim"
+	"github.com/whisper-sim/whisper/internal/tage"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+// App is a synthetic data-center application (see internal/workload).
+type App = workload.App
+
+// AppConfig parameterizes a custom application.
+type AppConfig = workload.Config
+
+// Mix is an application's branch behaviour class mix.
+type Mix = workload.Mix
+
+// Params are Whisper's design parameters (paper Table III).
+type Params = core.Params
+
+// Build is the output of the offline flow: profile, trained hints,
+// dynamic CFG, and the updated binary.
+type Build = sim.WhisperBuild
+
+// Result is a simulation result with IPC/MPKI accessors.
+type Result = pipeline.Result
+
+// Predictor is a conditional branch direction predictor.
+type Predictor = bpu.Predictor
+
+// BuildOptions parameterize Optimize.
+type BuildOptions = sim.BuildOptions
+
+// MachineConfig is the simulated machine (paper Table II).
+type MachineConfig = pipeline.Config
+
+// NewApp synthesizes an application from a configuration.
+func NewApp(cfg AppConfig) (*App, error) { return workload.New(cfg) }
+
+// Apps returns the 12 data center applications of the paper's Table I.
+func Apps() []*App { return workload.DataCenterApps() }
+
+// AppByName returns one Table I application (nil if unknown).
+func AppByName(name string) *App { return workload.DataCenterApp(name) }
+
+// SpecApps returns the SPEC2017-like comparison family (paper Fig 5a).
+func SpecApps() []*App { return workload.SpecApps() }
+
+// DefaultParams returns the paper's Table III parameters.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// DefaultBuildOptions mirrors the paper's setup: profile input #0 under a
+// 64KB TAGE-SC-L with the Table III parameters.
+func DefaultBuildOptions() BuildOptions { return sim.DefaultBuildOptions() }
+
+// DefaultMachine returns the Table II machine model.
+func DefaultMachine() MachineConfig { return pipeline.DefaultConfig() }
+
+// NewTageSCL builds a TAGE-SC-L baseline predictor with the given storage
+// budget in kilobytes (the paper's baseline uses 64).
+func NewTageSCL(sizeKB int) Predictor { return tage.New(tage.Config{SizeKB: sizeKB}) }
+
+// NewMTageSC builds the unlimited-storage MTAGE-SC comparison predictor.
+func NewMTageSC() Predictor { return mtage.New() }
+
+// NewOracle builds the ideal direction predictor of the limit study.
+func NewOracle() Predictor { return &bpu.Oracle{} }
+
+// Optimize runs the full offline flow for one application: in-production
+// profiling, Algorithm 1 training with hashed history correlation and
+// randomized formula testing, and link-time brhint injection.
+func Optimize(app *App, opt BuildOptions) (*Build, error) {
+	return sim.BuildWhisper(app, opt)
+}
+
+// Evaluation compares the Whisper-updated binary against the baseline on
+// one workload input.
+type Evaluation struct {
+	Baseline, Whisper Result
+	// HintPredictions counts predictions served from the hint buffer;
+	// HintExecutions counts retired brhint instructions.
+	HintPredictions, HintExecutions uint64
+}
+
+// Reduction returns the fraction of baseline mispredictions eliminated.
+func (e *Evaluation) Reduction() float64 { return sim.MispReduction(e.Baseline, e.Whisper) }
+
+// Speedup returns the IPC improvement fraction.
+func (e *Evaluation) Speedup() float64 { return sim.Speedup(e.Baseline, e.Whisper) }
+
+// Evaluate measures a build on the given input with records records and
+// warmupFrac of them used to warm structures before measuring. The
+// baseline (and the predictor underneath Whisper) is the paper's 64KB
+// TAGE-SC-L; use EvaluateWith for other baselines.
+func Evaluate(b *Build, app *App, input, records int, warmupFrac float64) *Evaluation {
+	return EvaluateWith(b, app, input, records, warmupFrac, nil)
+}
+
+// EvaluateWith is Evaluate with a custom baseline predictor factory (used
+// both standalone and underneath the Whisper runtime). A nil factory
+// selects the 64KB TAGE-SC-L.
+func EvaluateWith(b *Build, app *App, input, records int, warmupFrac float64, baseline func() Predictor) *Evaluation {
+	factory := sim.PredictorFactory(sim.Tage64KB)
+	if baseline != nil {
+		factory = sim.PredictorFactory(baseline)
+	}
+	popt := pipeline.Options{
+		Config:        pipeline.DefaultConfig(),
+		WarmupRecords: uint64(float64(records) * warmupFrac),
+	}
+	base := sim.RunApp(app, input, records, factory(), popt)
+	res, rt := b.RunWhisperWarm(app, input, records, factory, popt)
+	return &Evaluation{
+		Baseline:        base,
+		Whisper:         res,
+		HintPredictions: rt.HintPredictions,
+		HintExecutions:  rt.HintExecutions,
+	}
+}
+
+// Measure runs any predictor over an application input and returns the
+// pipeline result (IPC, MPKI, cycle attribution).
+func Measure(app *App, input, records int, pred Predictor, warmupFrac float64) Result {
+	return sim.RunApp(app, input, records, pred, pipeline.Options{
+		Config:        pipeline.DefaultConfig(),
+		WarmupRecords: uint64(float64(records) * warmupFrac),
+	})
+}

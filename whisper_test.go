@@ -1,0 +1,76 @@
+package whisper
+
+import "testing"
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	app := AppByName("mysql")
+	if app == nil {
+		t.Fatal("mysql app missing")
+	}
+	opt := DefaultBuildOptions()
+	opt.Records = 120000
+	b, err := Optimize(app, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(b, app, 1, 120000, 0.3)
+	if ev.Reduction() <= 0 {
+		t.Fatalf("public API reduction %v", ev.Reduction())
+	}
+	if ev.HintPredictions == 0 || ev.HintExecutions == 0 {
+		t.Fatal("hint counters empty")
+	}
+	t.Logf("reduction %.1f%%, speedup %.2f%%", ev.Reduction()*100, ev.Speedup()*100)
+}
+
+func TestPublicAppCatalog(t *testing.T) {
+	if len(Apps()) != 12 {
+		t.Fatalf("%d apps", len(Apps()))
+	}
+	if len(SpecApps()) != 10 {
+		t.Fatalf("%d spec apps", len(SpecApps()))
+	}
+	if AppByName("nonesuch") != nil {
+		t.Fatal("bogus app resolved")
+	}
+}
+
+func TestPublicPredictors(t *testing.T) {
+	app := AppByName("kafka")
+	base := Measure(app, 0, 40000, NewTageSCL(64), 0.25)
+	ideal := Measure(app, 0, 40000, NewOracle(), 0.25)
+	unlimited := Measure(app, 0, 40000, NewMTageSC(), 0.25)
+	if ideal.CondMisp != 0 {
+		t.Fatal("oracle mispredicted")
+	}
+	if unlimited.CondMisp >= base.CondMisp {
+		t.Fatalf("MTAGE (%d) not below baseline (%d)", unlimited.CondMisp, base.CondMisp)
+	}
+	if base.MPKI() <= 0 || base.IPC() <= 0 {
+		t.Fatal("baseline metrics empty")
+	}
+}
+
+func TestPublicCustomApp(t *testing.T) {
+	app, err := NewApp(AppConfig{
+		Name:          "custom",
+		Seed:          1,
+		Functions:     40,
+		BranchesPerFn: 4,
+		Mix:           Mix{Biased: 0.8, LongHist: 0.1, DataDep: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Measure(app, 0, 20000, NewTageSCL(64), 0)
+	if res.CondExecs == 0 {
+		t.Fatal("custom app produced no branches")
+	}
+}
+
+func TestDefaultParamsTableIII(t *testing.T) {
+	p := DefaultParams()
+	if p.MinHistory != 8 || p.MaxHistory != 1024 || p.NumLengths != 16 {
+		t.Fatalf("params %+v", p)
+	}
+}
