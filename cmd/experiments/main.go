@@ -4,87 +4,152 @@
 // Usage:
 //
 //	experiments [-scale tiny|small|full] [-records N] [-only fig13,fig12]
-//	            [-apps mysql,kafka] [-csv]
+//	            [-apps mysql,kafka] [-j N] [-progress] [-timing] [-csv]
 //
 // Without -only it runs the complete suite in paper order. Results print
-// as aligned text tables (or CSV with -csv); EXPERIMENTS.md records the
-// paper-vs-measured comparison for a small-scale run.
+// as aligned text tables (or CSV with -csv); docs/experiments.md maps
+// every id to its paper table or figure and records the paper-vs-measured
+// comparison for a small-scale run.
+//
+// Independent (app, input, config) simulation units fan out over -j
+// workers; the tables are byte-identical at every -j, so the flag is
+// purely a wall-clock knob. -progress draws a live done/total/ETA line
+// on stderr and -timing prints a per-unit accounting summary at the end.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"github.com/whisper-sim/whisper/internal/experiments"
 	"github.com/whisper-sim/whisper/internal/plot"
+	"github.com/whisper-sim/whisper/internal/runner"
 	"github.com/whisper-sim/whisper/internal/stats"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
 
-func main() {
-	scaleFlag := flag.String("scale", "small", "workload scale: tiny, small, or full")
-	recordsFlag := flag.Int("records", 0, "override per-app record count")
-	onlyFlag := flag.String("only", "", "comma-separated experiment ids (e.g. fig13,table1)")
-	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all 12)")
-	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	plotFlag := flag.Bool("plot", false, "render numeric columns as ASCII bar charts")
-	flag.Parse()
+// config is the parsed command line.
+type config struct {
+	opt      experiments.Options
+	only     map[string]bool
+	csv      bool
+	plot     bool
+	progress bool
+	timing   bool
+}
 
-	opt := experiments.Default()
+// run reports whether the experiment id is selected (-only empty means
+// everything runs).
+func (c *config) run(id string) bool { return len(c.only) == 0 || c.only[id] }
+
+// parseConfig turns CLI arguments into a validated config. Errors are
+// returned, not fatal, so tests can drive every branch.
+func parseConfig(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaleFlag := fs.String("scale", "small", "workload scale: tiny, small, or full")
+	recordsFlag := fs.Int("records", 0, "override per-app record count")
+	onlyFlag := fs.String("only", "", "comma-separated experiment ids (e.g. fig13,table1)")
+	appsFlag := fs.String("apps", "", "comma-separated app subset (default: all 12)")
+	jFlag := fs.Int("j", 0, "parallel simulation units (0 = one per CPU)")
+	progressFlag := fs.Bool("progress", false, "draw a live progress/ETA line on stderr")
+	timingFlag := fs.Bool("timing", false, "print per-unit timing and cache stats at the end")
+	csvFlag := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	plotFlag := fs.Bool("plot", false, "render numeric columns as ASCII bar charts")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	c := &config{
+		opt:      experiments.Default(),
+		only:     map[string]bool{},
+		csv:      *csvFlag,
+		plot:     *plotFlag,
+		progress: *progressFlag,
+		timing:   *timingFlag,
+	}
 	switch *scaleFlag {
 	case "tiny":
-		opt.Scale = workload.ScaleTiny
+		c.opt.Scale = workload.ScaleTiny
 	case "small":
-		opt.Scale = workload.ScaleSmall
+		c.opt.Scale = workload.ScaleSmall
 	case "full":
-		opt.Scale = workload.ScaleFull
+		c.opt.Scale = workload.ScaleFull
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		return nil, fmt.Errorf("unknown scale %q", *scaleFlag)
 	}
 	if *recordsFlag > 0 {
-		opt.Records = *recordsFlag
+		c.opt.Records = *recordsFlag
 	}
+	c.opt.Parallelism = *jFlag
+
+	// Instantiate the app set exactly once: the baseline memo keys on app
+	// identity, so sharing instances across drivers is what lets one
+	// 64KB TAGE-SC-L run serve Figs 1, 12/13, 14, 15 and the ablations.
 	if *appsFlag != "" {
 		var apps []*workload.App
 		for _, name := range strings.Split(*appsFlag, ",") {
 			app := workload.DataCenterApp(strings.TrimSpace(name))
 			if app == nil {
-				fmt.Fprintf(os.Stderr, "unknown app %q\n", name)
-				os.Exit(2)
+				return nil, fmt.Errorf("unknown app %q", name)
 			}
 			apps = append(apps, app)
 		}
-		opt.Apps = apps
+		c.opt.Apps = apps
+	} else {
+		c.opt.Apps = workload.DataCenterApps()
 	}
 
-	only := map[string]bool{}
 	if *onlyFlag != "" {
 		for _, id := range strings.Split(*onlyFlag, ",") {
-			only[strings.ToLower(strings.TrimSpace(id))] = true
+			c.only[strings.ToLower(strings.TrimSpace(id))] = true
 		}
 	}
-	run := func(id string) bool { return len(only) == 0 || only[id] }
+	return c, nil
+}
+
+func main() {
+	c, err := parseConfig(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt := c.opt
+
+	var mon *runner.Monitor
+	if c.progress {
+		mon = runner.NewMonitor(os.Stderr)
+	} else if c.timing {
+		mon = runner.NewMonitor(nil)
+	}
+	opt.Monitor = mon
 
 	emit := func(t *stats.Table) {
+		if mon != nil {
+			mon.Done() // clear the progress line before table output
+		}
 		switch {
-		case *csvFlag:
+		case c.csv:
 			fmt.Print(t.Title + "\n" + t.CSV() + "\n")
-		case *plotFlag:
+		case c.plot:
 			fmt.Println(plot.Render(t, 48))
 		default:
 			fmt.Println(t.String())
 		}
 	}
 	fail := func(id string, err error) {
+		if mon != nil {
+			mon.Done()
+		}
 		fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 		os.Exit(1)
 	}
 	timed := func(id string, f func() (*stats.Table, error)) {
-		if !run(id) {
+		if !c.run(id) {
 			return
 		}
 		start := time.Now()
@@ -164,20 +229,20 @@ func main() {
 	})
 
 	// Figures 12, 13 and 16 share one comparison run.
-	if run("fig12") || run("fig13") || run("fig16") {
+	if c.run("fig12") || c.run("fig13") || c.run("fig16") {
 		start := time.Now()
-		c, err := experiments.Fig12and13(opt)
+		cmp, err := experiments.Fig12and13(opt)
 		if err != nil {
 			fail("fig12/13/16", err)
 		}
-		if run("fig12") {
-			emit(c.SpeedupTable("Fig 12: speedup over 64KB TAGE-SC-L (%)"))
+		if c.run("fig12") {
+			emit(cmp.SpeedupTable("Fig 12: speedup over 64KB TAGE-SC-L (%)"))
 		}
-		if run("fig13") {
-			emit(c.ReductionTable("Fig 13: misprediction reduction over 64KB TAGE-SC-L (%)"))
+		if c.run("fig13") {
+			emit(cmp.ReductionTable("Fig 13: misprediction reduction over 64KB TAGE-SC-L (%)"))
 		}
-		if run("fig16") {
-			emit(c.TrainTimeTable())
+		if c.run("fig16") {
+			emit(cmp.TrainTimeTable())
 		}
 		fmt.Printf("[fig12/13/16 completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
 	}
@@ -259,4 +324,13 @@ func main() {
 		}
 		return r.Table(), nil
 	})
+
+	if mon != nil {
+		mon.Done()
+	}
+	if c.timing && mon != nil {
+		fmt.Fprintln(os.Stderr, mon.Summary())
+		hits, misses := experiments.BaselineCacheStats()
+		fmt.Fprintf(os.Stderr, "baseline cache: %d hits, %d misses\n", hits, misses)
+	}
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+func TestParseConfigDefaults(t *testing.T) {
+	c, err := parseConfig(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.opt.Scale != workload.ScaleSmall {
+		t.Fatalf("default scale %v", c.opt.Scale)
+	}
+	if len(c.opt.Apps) != 12 {
+		t.Fatalf("default app count %d", len(c.opt.Apps))
+	}
+	if c.opt.Parallelism != 0 {
+		t.Fatalf("default parallelism %d (want 0 = one per CPU)", c.opt.Parallelism)
+	}
+	if c.csv || c.plot || c.progress || c.timing {
+		t.Fatal("output flags should default off")
+	}
+	for _, id := range []string{"fig13", "table1", "anything"} {
+		if !c.run(id) {
+			t.Fatalf("empty -only must select %q", id)
+		}
+	}
+}
+
+func TestParseConfigFlags(t *testing.T) {
+	c, err := parseConfig([]string{
+		"-scale", "tiny", "-records", "5000", "-j", "4",
+		"-progress", "-timing", "-csv",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.opt.Scale != workload.ScaleTiny {
+		t.Fatalf("scale %v", c.opt.Scale)
+	}
+	if c.opt.Records != 5000 {
+		t.Fatalf("records %d", c.opt.Records)
+	}
+	if c.opt.Parallelism != 4 {
+		t.Fatalf("parallelism %d", c.opt.Parallelism)
+	}
+	if !c.progress || !c.timing || !c.csv {
+		t.Fatal("boolean flags not captured")
+	}
+}
+
+func TestParseConfigUnknownScale(t *testing.T) {
+	_, err := parseConfig([]string{"-scale", "huge"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), `unknown scale "huge"`) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestParseConfigUnknownApp(t *testing.T) {
+	_, err := parseConfig([]string{"-apps", "mysql,notanapp"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), `unknown app "notanapp"`) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestParseConfigAppSubset(t *testing.T) {
+	c, err := parseConfig([]string{"-apps", "mysql, kafka"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.opt.Apps) != 2 {
+		t.Fatalf("app count %d", len(c.opt.Apps))
+	}
+	if n := c.opt.Apps[1].Name(); n != "kafka" {
+		t.Fatalf("apps[1] = %q (whitespace not trimmed?)", n)
+	}
+}
+
+func TestParseConfigOnlyFilter(t *testing.T) {
+	c, err := parseConfig([]string{"-only", "Fig13, table1"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ids are matched case-insensitively with whitespace trimmed.
+	if !c.run("fig13") || !c.run("table1") {
+		t.Fatal("selected ids must run")
+	}
+	if c.run("fig12") {
+		t.Fatal("unselected id must not run")
+	}
+}
+
+func TestParseConfigBadFlag(t *testing.T) {
+	if _, err := parseConfig([]string{"-nope"}, io.Discard); err == nil {
+		t.Fatal("undefined flag must error, not exit")
+	}
+}

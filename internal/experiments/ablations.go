@@ -10,9 +10,11 @@ import (
 	"fmt"
 
 	"github.com/whisper-sim/whisper/internal/core"
+	"github.com/whisper-sim/whisper/internal/runner"
 	"github.com/whisper-sim/whisper/internal/sim"
 	"github.com/whisper-sim/whisper/internal/stats"
 	"github.com/whisper-sim/whisper/internal/tage"
+	"github.com/whisper-sim/whisper/internal/workload"
 )
 
 // BufferSweepSizes is the default hint-buffer capacity sweep.
@@ -36,37 +38,47 @@ func BufferSweep(opt Options, sizes []int) (*BufferSweepResult, error) {
 	}
 	// Build once per app, evaluate at every size.
 	type built struct {
-		b    *sim.WhisperBuild
-		base float64
-		misp uint64
+		b        *sim.WhisperBuild
+		baseMisp uint64
 	}
-	var builds []built
 	basePopt := opt.popt()
-	var baseResults []uint64
-	for _, app := range opt.Apps {
+	builds, err := mapApps(opt, "buffer/build", func(ai int, app *workload.App, u *runner.Unit) (built, error) {
 		b, err := opt.buildWhisper(app)
 		if err != nil {
-			return nil, err
+			return built{}, err
 		}
 		base := opt.runBaseline(app, opt.TestInput)
-		builds = append(builds, built{b: b})
-		baseResults = append(baseResults, base.CondMisp)
+		u.AddInstrs(b.Profile.Instrs + base.Instrs)
+		return built{b: b, baseMisp: base.CondMisp}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	r := &BufferSweepResult{Sizes: sizes}
 	for _, size := range sizes {
-		var reds, hits []float64
-		for i, app := range opt.Apps {
+		type sized struct {
+			red, hit float64
+		}
+		per, err := mapApps(opt, fmt.Sprintf("buffer@%d", size), func(ai int, app *workload.App, u *runner.Unit) (sized, error) {
 			rt := core.NewRuntimeOpts(tage.New(tage.DefaultConfig()),
-				builds[i].b.Binary, builds[i].b.Train.Lengths, size, true)
+				builds[ai].b.Binary, builds[ai].b.Train.Lengths, size, true)
 			popt := basePopt
 			popt.Hook = rt
 			res := sim.RunApp(app, opt.TestInput, opt.Records, rt, popt)
+			u.AddInstrs(res.Instrs)
 			red := 0.0
-			if baseResults[i] > 0 {
-				red = 1 - float64(res.CondMisp)/float64(baseResults[i])
+			if builds[ai].baseMisp > 0 {
+				red = 1 - float64(res.CondMisp)/float64(builds[ai].baseMisp)
 			}
-			reds = append(reds, red)
-			hits = append(hits, rt.Buffer().HitRate())
+			return sized{red: red, hit: rt.Buffer().HitRate()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var reds, hits []float64
+		for _, pa := range per {
+			reds = append(reds, pa.red)
+			hits = append(hits, pa.hit)
 		}
 		r.Reduction = append(r.Reduction, stats.Mean(reds))
 		r.HitRate = append(r.HitRate, stats.Mean(hits))
@@ -100,14 +112,17 @@ func Ablations(opt Options) (*AblationResult, error) {
 	if err := opt.checkApps(); err != nil {
 		return nil, err
 	}
-	r := &AblationResult{Apps: appNames(opt.Apps)}
-	for _, app := range opt.Apps {
+	type ablationApp struct {
+		full, noSup, noVal float64
+	}
+	per, err := mapApps(opt, "ablations", func(ai int, app *workload.App, u *runner.Unit) (ablationApp, error) {
 		base := opt.runBaseline(app, opt.TestInput)
+		u.AddInstrs(base.Instrs)
 
 		// Full design (shared build for full + no-suppression).
 		b, err := opt.buildWhisper(app)
 		if err != nil {
-			return nil, err
+			return ablationApp{}, err
 		}
 		evalWith := func(bb *sim.WhisperBuild, suppress bool) float64 {
 			rt := core.NewRuntimeOpts(tage.New(tage.DefaultConfig()),
@@ -115,10 +130,12 @@ func Ablations(opt Options) (*AblationResult, error) {
 			popt := opt.popt()
 			popt.Hook = rt
 			res := sim.RunApp(app, opt.TestInput, opt.Records, rt, popt)
+			u.AddInstrs(res.Instrs)
 			return sim.MispReduction(base, res)
 		}
-		r.Full = append(r.Full, evalWith(b, true))
-		r.NoSuppression = append(r.NoSuppression, evalWith(b, false))
+		pa := ablationApp{}
+		pa.full = evalWith(b, true)
+		pa.noSup = evalWith(b, false)
 
 		params := opt.Params
 		params.NoValidation = true
@@ -128,9 +145,19 @@ func Ablations(opt Options) (*AblationResult, error) {
 		bopt.Params = params
 		nb, err := sim.BuildWhisper(app, bopt)
 		if err != nil {
-			return nil, err
+			return ablationApp{}, err
 		}
-		r.NoValidation = append(r.NoValidation, evalWith(nb, true))
+		pa.noVal = evalWith(nb, true)
+		return pa, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &AblationResult{Apps: appNames(opt.Apps)}
+	for _, pa := range per {
+		r.Full = append(r.Full, pa.full)
+		r.NoSuppression = append(r.NoSuppression, pa.noSup)
+		r.NoValidation = append(r.NoValidation, pa.noVal)
 	}
 	return r, nil
 }

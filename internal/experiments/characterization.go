@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"github.com/whisper-sim/whisper/internal/classify"
+	"github.com/whisper-sim/whisper/internal/runner"
 	"github.com/whisper-sim/whisper/internal/sim"
 	"github.com/whisper-sim/whisper/internal/stats"
 	"github.com/whisper-sim/whisper/internal/tage"
@@ -34,19 +35,35 @@ func Fig1(opt Options) (*Fig1Result, error) {
 	if err := opt.checkApps(); err != nil {
 		return nil, err
 	}
-	r := &Fig1Result{Apps: appNames(opt.Apps)}
-	for _, app := range opt.Apps {
+	type fig1App struct {
+		total, misp, fe, mpki, ipc float64
+	}
+	per, err := mapApps(opt, "fig1", func(i int, app *workload.App, u *runner.Unit) (fig1App, error) {
 		base := opt.runBaseline(app, opt.TrainInput)
 		ideal := opt.runIdeal(app, opt.TrainInput)
-		r.Total = append(r.Total, sim.Speedup(base, ideal))
+		u.AddInstrs(base.Instrs + ideal.Instrs)
 		// Decomposition: cycles saved in each bucket relative to the
 		// ideal run's cycle count (so the parts sum to the total).
 		mispSaved := float64(base.SquashCycles) - float64(ideal.SquashCycles)
 		feSaved := float64(base.FrontendCycles) - float64(ideal.FrontendCycles)
-		r.MispStall = append(r.MispStall, mispSaved/float64(ideal.Cycles))
-		r.FrontendStall = append(r.FrontendStall, feSaved/float64(ideal.Cycles))
-		r.BaseMPKI = append(r.BaseMPKI, base.MPKI())
-		r.BaseIPC = append(r.BaseIPC, base.IPC())
+		return fig1App{
+			total: sim.Speedup(base, ideal),
+			misp:  mispSaved / float64(ideal.Cycles),
+			fe:    feSaved / float64(ideal.Cycles),
+			mpki:  base.MPKI(),
+			ipc:   base.IPC(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig1Result{Apps: appNames(opt.Apps)}
+	for _, pa := range per {
+		r.Total = append(r.Total, pa.total)
+		r.MispStall = append(r.MispStall, pa.misp)
+		r.FrontendStall = append(r.FrontendStall, pa.fe)
+		r.BaseMPKI = append(r.BaseMPKI, pa.mpki)
+		r.BaseIPC = append(r.BaseIPC, pa.ipc)
 	}
 	return r, nil
 }
@@ -76,12 +93,15 @@ func Fig2(opt Options) (*Fig2Result, error) {
 	if err := opt.checkApps(); err != nil {
 		return nil, err
 	}
-	r := &Fig2Result{Apps: appNames(opt.Apps)}
-	for _, app := range opt.Apps {
+	mpki, err := mapApps(opt, "fig2", func(i int, app *workload.App, u *runner.Unit) (float64, error) {
 		base := opt.runBaseline(app, opt.TrainInput)
-		r.MPKI = append(r.MPKI, base.MPKI())
+		u.AddInstrs(base.Instrs)
+		return base.MPKI(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return &Fig2Result{Apps: appNames(opt.Apps), MPKI: mpki}, nil
 }
 
 // Table renders the figure.
@@ -107,17 +127,19 @@ func Fig3(opt Options) (*Fig3Result, error) {
 	if err := opt.checkApps(); err != nil {
 		return nil, err
 	}
-	r := &Fig3Result{Apps: appNames(opt.Apps)}
-	for _, app := range opt.Apps {
+	fractions, err := mapApps(opt, "fig3", func(i int, app *workload.App, u *runner.Unit) ([4]float64, error) {
 		counts := classify.DefaultClassifier().Run(
 			app.Stream(opt.TrainInput, opt.Records), tage.New(tage.DefaultConfig()))
 		var fr [4]float64
 		for c := classify.Compulsory; c <= classify.DataDependent; c++ {
 			fr[int(c)] = counts.Fraction(c)
 		}
-		r.Fractions = append(r.Fractions, fr)
+		return fr, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return &Fig3Result{Apps: appNames(opt.Apps), Fractions: fractions}, nil
 }
 
 // Table renders the figure.
@@ -161,14 +183,19 @@ func Fig5(opt Options) (*Fig5Result, error) {
 	if err := opt.checkApps(); err != nil {
 		return nil, err
 	}
-	r := &Fig5Result{Apps: appNames(opt.Apps)}
-	for _, app := range opt.Apps {
+	type fig5App struct {
+		branches int
+		needed   [4]int
+		top50    float64
+	}
+	per, err := mapApps(opt, "fig5", func(ai int, app *workload.App, u *runner.Unit) (fig5App, error) {
 		misp := map[uint64]uint64{}
 		pred := tage.New(tage.DefaultConfig())
 		s := app.Stream(opt.TrainInput, opt.Records)
 		var rec trace.Record
 		var total uint64
 		for s.Next(&rec) {
+			u.AddInstrs(uint64(rec.Instrs))
 			if rec.Kind != trace.CondBranch {
 				continue
 			}
@@ -200,13 +227,20 @@ func Fig5(opt Options) (*Fig5Result, error) {
 		for ; qi < len(Fig5Quantiles); qi++ {
 			needed[qi] = len(counts)
 		}
-		r.Branches = append(r.Branches, len(counts))
-		r.NeededFor = append(r.NeededFor, needed)
 		share := 0.0
 		if total > 0 {
 			share = float64(top50) / float64(total)
 		}
-		r.Top50Share = append(r.Top50Share, share)
+		return fig5App{branches: len(counts), needed: needed, top50: share}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig5Result{Apps: appNames(opt.Apps)}
+	for _, pa := range per {
+		r.Branches = append(r.Branches, pa.branches)
+		r.NeededFor = append(r.NeededFor, pa.needed)
+		r.Top50Share = append(r.Top50Share, pa.top50)
 	}
 	return r, nil
 }
@@ -254,9 +288,8 @@ func Fig6(opt Options) (*Fig6Result, error) {
 	if err := opt.checkApps(); err != nil {
 		return nil, err
 	}
-	r := &Fig6Result{Apps: appNames(opt.Apps)}
 	warmup := uint64(float64(opt.Records) * opt.WarmupFrac)
-	for _, app := range opt.Apps {
+	allShares, err := mapApps(opt, "fig6", func(ai int, app *workload.App, u *runner.Unit) ([]float64, error) {
 		pred := tage.New(tage.DefaultConfig())
 		s := app.Stream(opt.TrainInput, opt.Records)
 		var rec trace.Record
@@ -264,6 +297,7 @@ func Fig6(opt Options) (*Fig6Result, error) {
 		var total float64
 		var seen uint64
 		for s.Next(&rec) {
+			u.AddInstrs(uint64(rec.Instrs))
 			seen++
 			if rec.Kind != trace.CondBranch {
 				continue
@@ -291,9 +325,12 @@ func Fig6(opt Options) (*Fig6Result, error) {
 				shares[i] /= total
 			}
 		}
-		r.Shares = append(r.Shares, shares)
+		return shares, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return &Fig6Result{Apps: appNames(opt.Apps), Shares: allShares}, nil
 }
 
 // requiredLength maps a ground-truth behaviour to the history depth a

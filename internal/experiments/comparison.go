@@ -16,10 +16,12 @@ import (
 	"github.com/whisper-sim/whisper/internal/pipeline"
 	"github.com/whisper-sim/whisper/internal/profiler"
 	"github.com/whisper-sim/whisper/internal/rombf"
+	"github.com/whisper-sim/whisper/internal/runner"
 	"github.com/whisper-sim/whisper/internal/sim"
 	"github.com/whisper-sim/whisper/internal/stats"
 	"github.com/whisper-sim/whisper/internal/tage"
 	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/workload"
 )
 
 // Technique identifies one compared mechanism.
@@ -76,19 +78,27 @@ func RunComparison(opt Options, techniques []Technique) (*Comparison, error) {
 	for _, t := range techniques {
 		want[t] = true
 	}
-	c := &Comparison{
-		Apps:       appNames(opt.Apps),
-		Techniques: techniques,
-		Reduction:  map[Technique][]float64{},
-		Speedup:    map[Technique][]float64{},
-		TrainTime:  map[Technique]time.Duration{},
+	// Each app is one independent unit on the engine; results are merged
+	// back in app order afterwards so tables match a sequential run.
+	type appComparison struct {
+		baseMPKI  float64
+		reduction map[Technique]float64
+		speedup   map[Technique]float64
+		trainTime map[Technique]time.Duration
 	}
-	for _, app := range opt.Apps {
+	per, err := mapApps(opt, "comparison", func(ai int, app *workload.App, u *runner.Unit) (appComparison, error) {
+		pa := appComparison{
+			reduction: map[Technique]float64{},
+			speedup:   map[Technique]float64{},
+			trainTime: map[Technique]time.Duration{},
+		}
 		base := opt.runBaseline(app, opt.TestInput)
-		c.BaseMPKI = append(c.BaseMPKI, base.MPKI())
+		u.AddInstrs(base.Instrs)
+		pa.baseMPKI = base.MPKI()
 		record := func(t Technique, res pipeline.Result) {
-			c.Reduction[t] = append(c.Reduction[t], sim.MispReduction(base, res))
-			c.Speedup[t] = append(c.Speedup[t], sim.Speedup(base, res))
+			u.AddInstrs(res.Instrs)
+			pa.reduction[t] = sim.MispReduction(base, res)
+			pa.speedup[t] = sim.Speedup(base, res)
 		}
 
 		trainStream := func() trace.Stream { return app.Stream(opt.TrainInput, opt.Records) }
@@ -102,7 +112,7 @@ func RunComparison(opt Options, techniques []Technique) (*Comparison, error) {
 		if want[TechWhisper] || want[TechBranchNet8] || want[TechBranchNet32] || want[TechBranchNetUnl] {
 			hardProf, err = profiler.Collect(trainStream, sim.Tage64KB(), profiler.DefaultOptions())
 			if err != nil {
-				return nil, fmt.Errorf("experiments: profiling %s: %w", app.Name(), err)
+				return pa, fmt.Errorf("experiments: profiling %s: %w", app.Name(), err)
 			}
 		}
 		if want[Tech4bROMBF] || want[Tech8bROMBF] {
@@ -111,7 +121,7 @@ func RunComparison(opt Options, techniques []Technique) (*Comparison, error) {
 			ropt.MaxHard = 0
 			rombfProf, err = profiler.Collect(trainStream, sim.Tage64KB(), ropt)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: rombf profiling %s: %w", app.Name(), err)
+				return pa, fmt.Errorf("experiments: rombf profiling %s: %w", app.Name(), err)
 			}
 		}
 
@@ -127,9 +137,9 @@ func RunComparison(opt Options, techniques []Technique) (*Comparison, error) {
 			cfg.N = n
 			tr, err := rombf.Train(rombfProf, cfg)
 			if err != nil {
-				return nil, err
+				return pa, err
 			}
-			c.TrainTime[t] += tr.Duration
+			pa.trainTime[t] += tr.Duration
 			pred := rombf.NewPredictor(tage.New(tage.DefaultConfig()), tr.Hints, n)
 			record(t, sim.RunApp(app, opt.TestInput, opt.Records, pred, opt.popt()))
 		}
@@ -147,13 +157,13 @@ func RunComparison(opt Options, techniques []Technique) (*Comparison, error) {
 			}
 			cfg, err := branchnet.Variant(v.name)
 			if err != nil {
-				return nil, err
+				return pa, err
 			}
 			tr, err := branchnet.Train(hardProf, trainStream, cfg)
 			if err != nil {
-				return nil, err
+				return pa, err
 			}
-			c.TrainTime[v.t] += tr.Duration
+			pa.trainTime[v.t] += tr.Duration
 			pred := branchnet.NewPredictor(tage.New(tage.DefaultConfig()), tr.Models, v.name)
 			record(v.t, sim.RunApp(app, opt.TestInput, opt.Records, pred, opt.popt()))
 		}
@@ -161,9 +171,9 @@ func RunComparison(opt Options, techniques []Technique) (*Comparison, error) {
 		if want[TechWhisper] {
 			b, err := opt.buildWhisper(app)
 			if err != nil {
-				return nil, err
+				return pa, err
 			}
-			c.TrainTime[TechWhisper] += b.Train.Duration
+			pa.trainTime[TechWhisper] += b.Train.Duration
 			res, _ := opt.runWhisper(b, app, opt.TestInput)
 			record(TechWhisper, res)
 		}
@@ -172,6 +182,32 @@ func RunComparison(opt Options, techniques []Technique) (*Comparison, error) {
 		}
 		if want[TechIdeal] {
 			record(TechIdeal, sim.RunApp(app, opt.TestInput, opt.Records, &bpu.Oracle{}, opt.popt()))
+		}
+		return pa, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Comparison{
+		Apps:       appNames(opt.Apps),
+		Techniques: techniques,
+		Reduction:  map[Technique][]float64{},
+		Speedup:    map[Technique][]float64{},
+		TrainTime:  map[Technique]time.Duration{},
+	}
+	for _, pa := range per {
+		c.BaseMPKI = append(c.BaseMPKI, pa.baseMPKI)
+		for _, t := range techniques {
+			if red, ok := pa.reduction[t]; ok {
+				c.Reduction[t] = append(c.Reduction[t], red)
+				c.Speedup[t] = append(c.Speedup[t], pa.speedup[t])
+			}
+		}
+		// Only trained techniques carry entries; summing per key keeps
+		// untrained ones absent so TrainTimeTable skips them.
+		for t, d := range pa.trainTime {
+			c.TrainTime[t] += d
 		}
 	}
 	return c, nil

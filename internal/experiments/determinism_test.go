@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+// renderAt runs a deterministic driver subset at the given parallelism
+// and returns the concatenated table text. Wall-clock-bearing tables
+// (Fig 15/16 training seconds) are deliberately excluded: their values
+// depend on host timing, not on the schedule.
+func renderAt(t *testing.T, parallelism int) string {
+	t.Helper()
+	opt := tinyOptions()
+	opt.Parallelism = parallelism
+	// Fresh app instances per run: the baseline memo keys on app
+	// identity, so sharing instances across the two runs would recall
+	// rather than recompute and weaken the test.
+	opt.Apps = []*workload.App{
+		workload.DataCenterApp("mysql"),
+		workload.DataCenterApp("kafka"),
+	}
+
+	var out string
+	r1, err := Fig1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += r1.Table().String()
+	r2, err := Fig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += r2.Table().String()
+	r6, err := Fig6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += r6.Table().String()
+	c, err := RunComparison(opt, []Technique{Tech8bROMBF, TechWhisper, TechIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += c.ReductionTable("reduction").String()
+	out += c.SpeedupTable("speedup").String()
+	return out
+}
+
+// TestParallelismDeterminism is the engine's core guarantee: -j 1 and
+// -j 8 emit byte-identical tables, because every unit derives its RNG
+// from (app, input) and results land in index-addressed slices.
+func TestParallelismDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full drivers twice")
+	}
+	seq := renderAt(t, 1)
+	par := renderAt(t, 8)
+	if seq != par {
+		t.Fatalf("tables differ between -j 1 and -j 8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", seq, par)
+	}
+	if len(seq) == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -7,16 +7,22 @@ import (
 	"fmt"
 
 	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/runner"
 	"github.com/whisper-sim/whisper/internal/sim"
 	"github.com/whisper-sim/whisper/internal/stats"
+	"github.com/whisper-sim/whisper/internal/workload"
 )
 
 // whisperReductionWith builds Whisper against the given baseline budget
-// and returns per-app reductions on the test input.
-func whisperReductionWith(opt Options, sizeKB int, records int, warmupFrac float64) ([]float64, []float64, error) {
-	var reds, mpkis []float64
+// and returns per-app reductions on the test input. Each app is one
+// engine unit; the baseline goes through the cross-driver memo.
+func whisperReductionWith(opt Options, phase string, sizeKB int, records int, warmupFrac float64) ([]float64, []float64, error) {
 	factory := sim.TageSized(sizeKB)
-	for _, app := range opt.Apps {
+	warmup := uint64(float64(records) * warmupFrac)
+	type sweepApp struct {
+		red, mpki float64
+	}
+	per, err := mapApps(opt, phase, func(ai int, app *workload.App, u *runner.Unit) (sweepApp, error) {
 		bopt := sim.DefaultBuildOptions()
 		bopt.TrainInput = opt.TrainInput
 		bopt.Records = records
@@ -24,16 +30,21 @@ func whisperReductionWith(opt Options, sizeKB int, records int, warmupFrac float
 		bopt.Baseline = factory
 		b, err := sim.BuildWhisper(app, bopt)
 		if err != nil {
-			return nil, nil, err
+			return sweepApp{}, err
 		}
-		popt := pipeline.Options{
-			Config:        opt.Pipeline,
-			WarmupRecords: uint64(float64(records) * warmupFrac),
-		}
-		base := sim.RunApp(app, opt.TestInput, records, factory(), popt)
+		popt := pipeline.Options{Config: opt.Pipeline, WarmupRecords: warmup}
+		base := memoBaseline(app, opt.TestInput, records, warmup, sizeKB, opt.Pipeline)
 		res, _ := b.RunWhisperWarm(app, opt.TestInput, records, factory, popt)
-		reds = append(reds, sim.MispReduction(base, res))
-		mpkis = append(mpkis, base.MPKI())
+		u.AddInstrs(base.Instrs + res.Instrs)
+		return sweepApp{red: sim.MispReduction(base, res), mpki: base.MPKI()}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	reds := make([]float64, len(per))
+	mpkis := make([]float64, len(per))
+	for i, pa := range per {
+		reds[i], mpkis[i] = pa.red, pa.mpki
 	}
 	return reds, mpkis, nil
 }
@@ -52,7 +63,7 @@ func Fig20(opt Options) (*Fig20Result, error) {
 	if err := opt.checkApps(); err != nil {
 		return nil, err
 	}
-	reds, mpkis, err := whisperReductionWith(opt, 128, opt.Records, opt.WarmupFrac)
+	reds, mpkis, err := whisperReductionWith(opt, "fig20", 128, opt.Records, opt.WarmupFrac)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +102,7 @@ func Fig21(opt Options, sizes []int) (*Fig21Result, error) {
 	}
 	r := &Fig21Result{SizesKB: sizes}
 	for _, kb := range sizes {
-		reds, mpkis, err := whisperReductionWith(opt, kb, opt.Records, opt.WarmupFrac)
+		reds, mpkis, err := whisperReductionWith(opt, fmt.Sprintf("fig21@%dKB", kb), kb, opt.Records, opt.WarmupFrac)
 		if err != nil {
 			return nil, err
 		}
@@ -133,24 +144,28 @@ func Fig22(opt Options, fracs []float64) (*Fig22Result, error) {
 	}
 	r := &Fig22Result{WarmupFracs: fracs}
 	// One build per app; only the measurement window varies.
-	builds := make([]*sim.WhisperBuild, len(opt.Apps))
-	for i, app := range opt.Apps {
+	builds, err := mapApps(opt, "fig22/build", func(ai int, app *workload.App, u *runner.Unit) (*sim.WhisperBuild, error) {
 		b, err := opt.buildWhisper(app)
 		if err != nil {
 			return nil, err
 		}
-		builds[i] = b
+		u.AddInstrs(b.Profile.Instrs)
+		return b, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, f := range fracs {
-		var reds []float64
-		for i, app := range opt.Apps {
-			popt := pipeline.Options{
-				Config:        opt.Pipeline,
-				WarmupRecords: uint64(float64(opt.Records) * f),
-			}
-			base := sim.RunApp(app, opt.TestInput, opt.Records, sim.Tage64KB(), popt)
-			res, _ := builds[i].RunWhisperWarm(app, opt.TestInput, opt.Records, sim.Tage64KB, popt)
-			reds = append(reds, sim.MispReduction(base, res))
+		warmup := uint64(float64(opt.Records) * f)
+		reds, err := mapApps(opt, fmt.Sprintf("fig22@%g", f), func(ai int, app *workload.App, u *runner.Unit) (float64, error) {
+			popt := pipeline.Options{Config: opt.Pipeline, WarmupRecords: warmup}
+			base := memoBaseline(app, opt.TestInput, opt.Records, warmup, 64, opt.Pipeline)
+			res, _ := builds[ai].RunWhisperWarm(app, opt.TestInput, opt.Records, sim.Tage64KB, popt)
+			u.AddInstrs(base.Instrs + res.Instrs)
+			return sim.MispReduction(base, res), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		r.Reduction = append(r.Reduction, stats.Mean(reds))
 	}
@@ -192,7 +207,7 @@ func Fig23(opt Options, counts []int) (*Fig23Result, error) {
 	}
 	r := &Fig23Result{Records: counts}
 	for _, n := range counts {
-		reds, _, err := whisperReductionWith(opt, 64, n, opt.WarmupFrac)
+		reds, _, err := whisperReductionWith(opt, fmt.Sprintf("fig23@%d", n), 64, n, opt.WarmupFrac)
 		if err != nil {
 			return nil, err
 		}

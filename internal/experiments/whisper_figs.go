@@ -14,10 +14,12 @@ import (
 	"github.com/whisper-sim/whisper/internal/hint"
 	"github.com/whisper-sim/whisper/internal/profiler"
 	"github.com/whisper-sim/whisper/internal/rombf"
+	"github.com/whisper-sim/whisper/internal/runner"
 	"github.com/whisper-sim/whisper/internal/sim"
 	"github.com/whisper-sim/whisper/internal/stats"
 	"github.com/whisper-sim/whisper/internal/tage"
 	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/workload"
 )
 
 // Fig7Ops are the categories of the paper's Fig 7 legend.
@@ -41,12 +43,12 @@ func Fig7(opt Options) (*Fig7Result, error) {
 	if err := opt.checkApps(); err != nil {
 		return nil, err
 	}
-	r := &Fig7Result{Apps: appNames(opt.Apps)}
-	for _, app := range opt.Apps {
+	allShares, err := mapApps(opt, "fig7", func(ai int, app *workload.App, u *runner.Unit) ([]float64, error) {
 		b, err := opt.buildWhisper(app)
 		if err != nil {
 			return nil, err
 		}
+		u.AddInstrs(b.Profile.Instrs)
 		shares := make([]float64, len(Fig7Ops))
 		var total float64
 		for pc, h := range b.Train.Hints {
@@ -59,9 +61,12 @@ func Fig7(opt Options) (*Fig7Result, error) {
 				shares[i] /= total
 			}
 		}
-		r.Shares = append(r.Shares, shares)
+		return shares, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return &Fig7Result{Apps: appNames(opt.Apps), Shares: allShares}, nil
 }
 
 // fig7Class maps a trained hint to its Fig 7 category index.
@@ -132,9 +137,12 @@ func Fig14(opt Options) (*Fig14Result, error) {
 	if err := opt.checkApps(); err != nil {
 		return nil, err
 	}
-	r := &Fig14Result{Apps: appNames(opt.Apps)}
-	for _, app := range opt.Apps {
+	type fig14App struct {
+		hashed, impl float64
+	}
+	per, err := mapApps(opt, "fig14", func(ai int, app *workload.App, u *runner.Unit) (fig14App, error) {
 		base := opt.runBaseline(app, opt.TestInput)
+		u.AddInstrs(base.Instrs)
 
 		// 8b-ROMBF reference, trained over the same hard-branch set the
 		// Whisper variants see (the figure decomposes expressiveness;
@@ -145,11 +153,11 @@ func Fig14(opt Options) (*Fig14Result, error) {
 			return app.Stream(opt.TrainInput, opt.Records)
 		}, sim.Tage64KB(), ropt)
 		if err != nil {
-			return nil, err
+			return fig14App{}, err
 		}
 		rtr, err := rombf.Train(rprof, rombf.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return fig14App{}, err
 		}
 		rres := sim.RunApp(app, opt.TestInput, opt.Records,
 			rombf.NewPredictor(tage.New(tage.DefaultConfig()), rtr.Hints, 8), opt.popt())
@@ -177,14 +185,21 @@ func Fig14(opt Options) (*Fig14Result, error) {
 		opsOnly.HashedHistory = false
 		opsRed, err := run(opsOnly)
 		if err != nil {
-			return nil, err
+			return fig14App{}, err
 		}
 		fullRed, err := run(opt.Params)
 		if err != nil {
-			return nil, err
+			return fig14App{}, err
 		}
-		r.ImplCnimpl = append(r.ImplCnimpl, opsRed-rombfRed)
-		r.HashedHistory = append(r.HashedHistory, fullRed-opsRed)
+		return fig14App{hashed: fullRed - opsRed, impl: opsRed - rombfRed}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig14Result{Apps: appNames(opt.Apps)}
+	for _, pa := range per {
+		r.HashedHistory = append(r.HashedHistory, pa.hashed)
+		r.ImplCnimpl = append(r.ImplCnimpl, pa.impl)
 	}
 	return r, nil
 }
@@ -224,24 +239,38 @@ func Fig15(opt Options, fractions []float64) (*Fig15Result, error) {
 		fractions = Fig15Fractions
 	}
 	r := &Fig15Result{Fractions: fractions}
+	type fig15App struct {
+		red   float64
+		train time.Duration
+	}
 	for _, frac := range fractions {
+		frac := frac
+		per, err := mapApps(opt, fmt.Sprintf("fig15@%g", frac),
+			func(ai int, app *workload.App, u *runner.Unit) (fig15App, error) {
+				base := opt.runBaseline(app, opt.TestInput)
+				u.AddInstrs(base.Instrs)
+				params := opt.Params
+				params.ExploreFraction = frac
+				bopt := sim.DefaultBuildOptions()
+				bopt.TrainInput = opt.TrainInput
+				bopt.Records = opt.Records
+				bopt.Params = params
+				b, err := sim.BuildWhisper(app, bopt)
+				if err != nil {
+					return fig15App{}, err
+				}
+				res, _ := b.RunWhisperWarm(app, opt.TestInput, opt.Records, sim.Tage64KB, opt.popt())
+				u.AddInstrs(res.Instrs)
+				return fig15App{red: sim.MispReduction(base, res), train: b.Train.Duration}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		var reds []float64
 		var train time.Duration
-		for _, app := range opt.Apps {
-			base := opt.runBaseline(app, opt.TestInput)
-			params := opt.Params
-			params.ExploreFraction = frac
-			bopt := sim.DefaultBuildOptions()
-			bopt.TrainInput = opt.TrainInput
-			bopt.Records = opt.Records
-			bopt.Params = params
-			b, err := sim.BuildWhisper(app, bopt)
-			if err != nil {
-				return nil, err
-			}
-			train += b.Train.Duration
-			res, _ := b.RunWhisperWarm(app, opt.TestInput, opt.Records, sim.Tage64KB, opt.popt())
-			reds = append(reds, sim.MispReduction(base, res))
+		for _, pa := range per {
+			reds = append(reds, pa.red)
+			train += pa.train
 		}
 		r.Reduction = append(r.Reduction, stats.Mean(reds))
 		r.TrainSeconds = append(r.TrainSeconds, train.Seconds()/float64(len(opt.Apps)))
@@ -280,17 +309,20 @@ func Fig17(opt Options, testInputs []int) (*Fig17Result, error) {
 	if testInputs == nil {
 		testInputs = []int{1, 2, 3}
 	}
-	r := &Fig17Result{Apps: appNames(opt.Apps), TestInputs: testInputs}
-	for _, app := range opt.Apps {
+	type fig17App struct {
+		cross, same []float64
+	}
+	per, err := mapApps(opt, "fig17", func(ai int, app *workload.App, u *runner.Unit) (fig17App, error) {
 		crossB, err := opt.buildWhisper(app)
 		if err != nil {
-			return nil, err
+			return fig17App{}, err
 		}
 		var cross, same []float64
 		for _, ti := range testInputs {
 			base := opt.runBaseline(app, ti)
 			res, _ := crossB.RunWhisperWarm(app, ti, opt.Records, sim.Tage64KB, opt.popt())
 			cross = append(cross, sim.MispReduction(base, res))
+			u.AddInstrs(base.Instrs + res.Instrs)
 
 			bopt := sim.DefaultBuildOptions()
 			bopt.TrainInput = ti
@@ -298,13 +330,21 @@ func Fig17(opt Options, testInputs []int) (*Fig17Result, error) {
 			bopt.Params = opt.Params
 			sameB, err := sim.BuildWhisper(app, bopt)
 			if err != nil {
-				return nil, err
+				return fig17App{}, err
 			}
 			sres, _ := sameB.RunWhisperWarm(app, ti, opt.Records, sim.Tage64KB, opt.popt())
 			same = append(same, sim.MispReduction(base, sres))
+			u.AddInstrs(sres.Instrs)
 		}
-		r.CrossInput = append(r.CrossInput, cross)
-		r.SameInput = append(r.SameInput, same)
+		return fig17App{cross: cross, same: same}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig17Result{Apps: appNames(opt.Apps), TestInputs: testInputs}
+	for _, pa := range per {
+		r.CrossInput = append(r.CrossInput, pa.cross)
+		r.SameInput = append(r.SameInput, pa.same)
 	}
 	return r, nil
 }
@@ -347,16 +387,18 @@ func Fig18(opt Options, maxInputs int) (*Fig18Result, error) {
 	if maxInputs <= 0 {
 		maxInputs = 5
 	}
-	r := &Fig18Result{Reduction: map[Technique][]float64{}}
-	perLevelWh := make([][]float64, maxInputs)
-	perLevelRo := make([][]float64, maxInputs)
-	for _, app := range opt.Apps {
+	type fig18App struct {
+		wh, ro []float64 // reductions indexed by merge level k-1
+	}
+	per, err := mapApps(opt, "fig18", func(ai int, app *workload.App, u *runner.Unit) (fig18App, error) {
 		if maxInputs >= app.Inputs() {
-			return nil, fmt.Errorf("experiments: app %s has only %d inputs, need > %d",
+			return fig18App{}, fmt.Errorf("experiments: app %s has only %d inputs, need > %d",
 				app.Name(), app.Inputs(), maxInputs)
 		}
+		pa := fig18App{}
 		testInput := app.Inputs() - 1
 		base := opt.runBaseline(app, testInput)
+		u.AddInstrs(base.Instrs)
 		g := cfg.Build(app.Stream(opt.TrainInput, opt.Records))
 
 		var merged, rmerged *profiler.Profile
@@ -365,30 +407,30 @@ func Fig18(opt Options, maxInputs int) (*Fig18Result, error) {
 			mk := func() trace.Stream { return app.Stream(in, opt.Records) }
 			p, err := profiler.Collect(mk, sim.Tage64KB(), profiler.DefaultOptions())
 			if err != nil {
-				return nil, err
+				return pa, err
 			}
 			ropt := profiler.DefaultOptions()
 			ropt.Lengths = []int{8}
 			ropt.MaxHard = 0
 			rp, err := profiler.Collect(mk, sim.Tage64KB(), ropt)
 			if err != nil {
-				return nil, err
+				return pa, err
 			}
 			if merged == nil {
 				merged, rmerged = p, rp
 			} else {
 				if err := merged.Merge(p); err != nil {
-					return nil, err
+					return pa, err
 				}
 				if err := rmerged.Merge(rp); err != nil {
-					return nil, err
+					return pa, err
 				}
 			}
 
 			// Whisper from the merged profile.
 			tr, err := core.Train(merged, opt.Params)
 			if err != nil {
-				return nil, err
+				return pa, err
 			}
 			bin := core.Inject(tr, g, core.InjectOptions{
 				Placement:    cfg.DefaultPlacementOptions(),
@@ -398,22 +440,34 @@ func Fig18(opt Options, maxInputs int) (*Fig18Result, error) {
 			popt := opt.popt()
 			popt.Hook = rt
 			res := sim.RunApp(app, testInput, opt.Records, rt, popt)
-			perLevelWh[k-1] = append(perLevelWh[k-1], sim.MispReduction(base, res))
+			pa.wh = append(pa.wh, sim.MispReduction(base, res))
+			u.AddInstrs(res.Instrs)
 
 			// 8b-ROMBF from the merged raw-history profile.
 			rtr, err := rombf.Train(rmerged, rombf.DefaultConfig())
 			if err != nil {
-				return nil, err
+				return pa, err
 			}
 			rres := sim.RunApp(app, testInput, opt.Records,
 				rombf.NewPredictor(tage.New(tage.DefaultConfig()), rtr.Hints, 8), opt.popt())
-			perLevelRo[k-1] = append(perLevelRo[k-1], sim.MispReduction(base, rres))
+			pa.ro = append(pa.ro, sim.MispReduction(base, rres))
+			u.AddInstrs(rres.Instrs)
 		}
+		return pa, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r := &Fig18Result{Reduction: map[Technique][]float64{}}
 	for k := 1; k <= maxInputs; k++ {
+		var wh, ro []float64
+		for _, pa := range per {
+			wh = append(wh, pa.wh[k-1])
+			ro = append(ro, pa.ro[k-1])
+		}
 		r.InputCounts = append(r.InputCounts, k)
-		r.Reduction[TechWhisper] = append(r.Reduction[TechWhisper], stats.Mean(perLevelWh[k-1]))
-		r.Reduction[Tech8bROMBF] = append(r.Reduction[Tech8bROMBF], stats.Mean(perLevelRo[k-1]))
+		r.Reduction[TechWhisper] = append(r.Reduction[TechWhisper], stats.Mean(wh))
+		r.Reduction[Tech8bROMBF] = append(r.Reduction[Tech8bROMBF], stats.Mean(ro))
 	}
 	return r, nil
 }
@@ -444,16 +498,32 @@ func Fig19(opt Options) (*Fig19Result, error) {
 	if err := opt.checkApps(); err != nil {
 		return nil, err
 	}
-	r := &Fig19Result{Apps: appNames(opt.Apps)}
-	for _, app := range opt.Apps {
+	type fig19App struct {
+		static, dynamic float64
+		placed, dropped int
+	}
+	per, err := mapApps(opt, "fig19", func(ai int, app *workload.App, u *runner.Unit) (fig19App, error) {
 		b, err := opt.buildWhisper(app)
 		if err != nil {
-			return nil, err
+			return fig19App{}, err
 		}
-		r.Static = append(r.Static, b.Binary.StaticOverhead())
-		r.Dynamic = append(r.Dynamic, b.Binary.DynamicOverhead())
-		r.Placed = append(r.Placed, b.Binary.Placed)
-		r.Dropped = append(r.Dropped, b.Binary.Dropped)
+		u.AddInstrs(b.Profile.Instrs)
+		return fig19App{
+			static:  b.Binary.StaticOverhead(),
+			dynamic: b.Binary.DynamicOverhead(),
+			placed:  b.Binary.Placed,
+			dropped: b.Binary.Dropped,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig19Result{Apps: appNames(opt.Apps)}
+	for _, pa := range per {
+		r.Static = append(r.Static, pa.static)
+		r.Dynamic = append(r.Dynamic, pa.dynamic)
+		r.Placed = append(r.Placed, pa.placed)
+		r.Dropped = append(r.Dropped, pa.dropped)
 	}
 	return r, nil
 }

@@ -1,0 +1,146 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// UnitStat is one completed unit's accounting record.
+type UnitStat struct {
+	Label string
+	// Wall is the unit's wall-clock duration.
+	Wall time.Duration
+	// Instrs is the number of simulated instructions the unit credited.
+	Instrs uint64
+}
+
+// MIPS returns the unit's own simulation throughput in million
+// instructions per second.
+func (s UnitStat) MIPS() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Instrs) / s.Wall.Seconds() / 1e6
+}
+
+// Monitor aggregates unit telemetry across every driver sharing it and,
+// when given a writer, renders a live one-line progress/ETA display
+// (meant for stderr so tables on stdout stay clean).
+type Monitor struct {
+	mu       sync.Mutex
+	w        io.Writer
+	start    time.Time
+	total    int
+	done     int
+	workers  int
+	wall     time.Duration
+	instrs   uint64
+	units    []UnitStat
+	rendered bool
+}
+
+// NewMonitor creates a monitor; w may be nil to collect timing without
+// rendering progress.
+func NewMonitor(w io.Writer) *Monitor { return &Monitor{w: w} }
+
+// expect registers n more upcoming units (a pool calls this when a
+// driver fans out) and the widest worker count seen, used for the ETA.
+func (m *Monitor) expect(n, workers int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.start.IsZero() {
+		m.start = time.Now()
+	}
+	m.total += n
+	if workers > m.workers {
+		m.workers = workers
+	}
+}
+
+// finish records one completed unit and refreshes the progress line.
+func (m *Monitor) finish(u UnitStat) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done++
+	m.wall += u.Wall
+	m.instrs += u.Instrs
+	m.units = append(m.units, u)
+	m.render()
+}
+
+// render repaints the progress line; callers hold m.mu.
+func (m *Monitor) render() {
+	if m.w == nil || m.total == 0 {
+		return
+	}
+	elapsed := time.Since(m.start)
+	line := fmt.Sprintf("[%d/%d units] %.0f%%", m.done, m.total,
+		100*float64(m.done)/float64(m.total))
+	if elapsed > 0 && m.instrs > 0 {
+		line += fmt.Sprintf(" | %.1f MIPS", float64(m.instrs)/elapsed.Seconds()/1e6)
+	}
+	if m.done > 0 && m.done < m.total {
+		workers := m.workers
+		if workers < 1 {
+			workers = 1
+		}
+		avg := m.wall / time.Duration(m.done)
+		eta := avg * time.Duration(m.total-m.done) / time.Duration(workers)
+		line += fmt.Sprintf(" | eta %s", eta.Round(time.Second))
+	}
+	fmt.Fprintf(m.w, "\r\x1b[K%s", line)
+	m.rendered = true
+}
+
+// Done clears the progress line once the suite finishes.
+func (m *Monitor) Done() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.rendered {
+		fmt.Fprint(m.w, "\r\x1b[K")
+		m.rendered = false
+	}
+}
+
+// Snapshot returns the aggregate counts collected so far.
+func (m *Monitor) Snapshot() (done, total int, instrs uint64, wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.done, m.total, m.instrs, m.wall
+}
+
+// Summary renders the timing report: aggregate throughput, effective
+// concurrency, and the slowest units.
+func (m *Monitor) Summary() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	elapsed := time.Since(m.start)
+	if m.done == 0 || elapsed <= 0 {
+		return "runner: no units executed"
+	}
+	fmt.Fprintf(&b, "runner: %d units in %s (unit wall %s, %.1fx effective concurrency)\n",
+		m.done, elapsed.Round(time.Millisecond), m.wall.Round(time.Millisecond),
+		m.wall.Seconds()/elapsed.Seconds())
+	fmt.Fprintf(&b, "runner: %.1fM instructions simulated, %.1f MIPS effective\n",
+		float64(m.instrs)/1e6, float64(m.instrs)/elapsed.Seconds()/1e6)
+	slowest := append([]UnitStat(nil), m.units...)
+	sort.SliceStable(slowest, func(i, j int) bool { return slowest[i].Wall > slowest[j].Wall })
+	if len(slowest) > 5 {
+		slowest = slowest[:5]
+	}
+	b.WriteString("runner: slowest units:\n")
+	for _, u := range slowest {
+		label := u.Label
+		if label == "" {
+			label = "(unlabeled)"
+		}
+		fmt.Fprintf(&b, "  %-32s %10s  %8.2fM instrs  %6.1f MIPS\n",
+			label, u.Wall.Round(time.Millisecond), float64(u.Instrs)/1e6, u.MIPS())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

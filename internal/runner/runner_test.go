@@ -1,0 +1,183 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 32} {
+		p := &Pool{Workers: workers}
+		out, err := Map(p, 100, func(i int, u *Unit) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	p := &Pool{Workers: workers}
+	err := p.Run(64, func(i int, u *Unit) error {
+		n := inFlight.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestPoolReturnsLowestIndexError(t *testing.T) {
+	// Sequential: execution stops at the first failure, which is also the
+	// lowest index.
+	p := &Pool{Workers: 1}
+	err := p.Run(16, func(i int, u *Unit) error {
+		if i == 5 || i == 11 {
+			return fmt.Errorf("unit %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "unit 5 failed") {
+		t.Fatalf("sequential: got %v", err)
+	}
+
+	// Parallel: all units rendezvous before two of them fail, so both
+	// errors are recorded and the lowest index wins.
+	const n = 8
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	p = &Pool{Workers: n}
+	err = p.Run(n, func(i int, u *Unit) error {
+		barrier.Done()
+		barrier.Wait()
+		if i == 3 || i == 4 {
+			return fmt.Errorf("unit %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "unit 3 failed") {
+		t.Fatalf("parallel: got %v", err)
+	}
+}
+
+func TestPoolStopsSchedulingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	p := &Pool{Workers: 1}
+	err := p.Run(100, func(i int, u *Unit) error {
+		ran.Add(1)
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if n := ran.Load(); n != 3 {
+		t.Fatalf("ran %d units after early failure", n)
+	}
+}
+
+func TestMonitorAccounting(t *testing.T) {
+	var sb strings.Builder
+	m := NewMonitor(&sb)
+	p := &Pool{Workers: 4, Monitor: m}
+	err := p.Run(10, func(i int, u *Unit) error {
+		u.Label = fmt.Sprintf("unit/%d", i)
+		u.AddInstrs(1000)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, total, instrs, wall := m.Snapshot()
+	if done != 10 || total != 10 {
+		t.Fatalf("done %d / total %d", done, total)
+	}
+	if instrs != 10000 {
+		t.Fatalf("instrs %d", instrs)
+	}
+	if wall <= 0 {
+		t.Fatalf("wall %v", wall)
+	}
+	if !strings.Contains(sb.String(), "[10/10 units]") {
+		t.Fatalf("progress output missing final count: %q", sb.String())
+	}
+	if s := m.Summary(); !strings.Contains(s, "10 units") || !strings.Contains(s, "unit/") {
+		t.Fatalf("summary %q", s)
+	}
+	m.Done()
+	if !strings.HasSuffix(sb.String(), "\r\x1b[K") {
+		t.Fatal("Done did not clear the progress line")
+	}
+}
+
+func TestMonitorAccumulatesAcrossPools(t *testing.T) {
+	m := NewMonitor(nil)
+	for k := 0; k < 3; k++ {
+		p := &Pool{Workers: 2, Monitor: m}
+		if err := p.Run(4, func(i int, u *Unit) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, total, _, _ := m.Snapshot()
+	if done != 12 || total != 12 {
+		t.Fatalf("done %d / total %d", done, total)
+	}
+}
+
+func TestMemoComputesOncePerKey(t *testing.T) {
+	var m Memo[int, int]
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				v := m.Do(k, func() int {
+					calls.Add(1)
+					return k * 7
+				})
+				if v != k*7 {
+					t.Errorf("Do(%d) = %d", k, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 10 {
+		t.Fatalf("compute ran %d times for 10 keys", n)
+	}
+	hits, misses := m.Stats()
+	if misses != 10 || hits != 70 {
+		t.Fatalf("hits %d misses %d", hits, misses)
+	}
+	if m.Len() != 10 {
+		t.Fatalf("len %d", m.Len())
+	}
+}
