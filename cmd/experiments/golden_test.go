@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// completedRe matches the wall-clock suffix of the per-experiment
+// footer, the only nondeterministic part of the output.
+var completedRe = regexp.MustCompile(`completed in [^\]]+\]`)
+
+// TestGoldenTinyTables locks the rendered table output of a tiny
+// deterministic subset of the suite. Any formatting or numeric drift —
+// an accidental change to the simulator, the table renderer, or a
+// driver — shows up as a readable diff against the committed fixture.
+// Refresh intentionally with: go test ./cmd/experiments -run Golden -update
+func TestGoldenTinyTables(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-scale", "tiny", "-records", "4000", "-apps", "mysql,kafka",
+		"-only", "table1,fig1,fig6,fig19", "-j", "2", "-no-cache",
+	}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("unexpected stderr: %s", stderr.String())
+	}
+	got := completedRe.ReplaceAllString(stdout.String(), "completed in X]")
+
+	golden := filepath.Join("testdata", "golden-tiny.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s (rerun with -update if intended):\n--- got\n%s\n--- want\n%s",
+			golden, got, want)
+	}
+}

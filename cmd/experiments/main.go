@@ -5,6 +5,7 @@
 //
 //	experiments [-scale tiny|small|full] [-records N] [-only fig13,fig12]
 //	            [-apps mysql,kafka] [-j N] [-progress] [-timing] [-csv]
+//	            [-cache DIR] [-no-cache]
 //
 // Without -only it runs the complete suite in paper order. Results print
 // as aligned text tables (or CSV with -csv); docs/experiments.md maps
@@ -15,6 +16,13 @@
 // workers; the tables are byte-identical at every -j, so the flag is
 // purely a wall-clock knob. -progress draws a live done/total/ETA line
 // on stderr and -timing prints a per-unit accounting summary at the end.
+//
+// Profiles and trained hint bundles persist in an on-disk cache
+// (default <user cache dir>/whisper-sim; override with -cache, disable
+// with -no-cache), so reruns skip the profiling and formula-search work
+// entirely. Cached artifacts are verified (CRC-checked sections, keyed
+// by complete configuration); corrupt or stale entries are discarded
+// and recomputed.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -29,6 +38,7 @@ import (
 	"github.com/whisper-sim/whisper/internal/plot"
 	"github.com/whisper-sim/whisper/internal/runner"
 	"github.com/whisper-sim/whisper/internal/stats"
+	"github.com/whisper-sim/whisper/internal/store"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
 
@@ -40,6 +50,8 @@ type config struct {
 	plot     bool
 	progress bool
 	timing   bool
+	cacheDir string
+	noCache  bool
 }
 
 // run reports whether the experiment id is selected (-only empty means
@@ -60,6 +72,8 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	timingFlag := fs.Bool("timing", false, "print per-unit timing and cache stats at the end")
 	csvFlag := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	plotFlag := fs.Bool("plot", false, "render numeric columns as ASCII bar charts")
+	cacheFlag := fs.String("cache", "", "profile/hint cache directory (default: <user cache dir>/whisper-sim)")
+	noCacheFlag := fs.Bool("no-cache", false, "disable the on-disk profile/hint cache")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -71,6 +85,8 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 		plot:     *plotFlag,
 		progress: *progressFlag,
 		timing:   *timingFlag,
+		cacheDir: *cacheFlag,
+		noCache:  *noCacheFlag,
 	}
 	switch *scaleFlag {
 	case "tiny":
@@ -113,20 +129,63 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 }
 
 func main() {
-	c, err := parseConfig(os.Args[1:], os.Stderr)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// exitCode carries a failure out of run's driver closures via panic, so
+// the whole suite stays testable in-process (no os.Exit on error paths).
+type exitCode int
+
+// openCache resolves the cache directory and opens the on-disk store,
+// honoring -no-cache and falling back to uncached operation on errors.
+func openCache(c *config, stderr io.Writer) *store.Cache {
+	if c.noCache {
+		return nil
+	}
+	dir := c.cacheDir
+	if dir == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			fmt.Fprintf(stderr, "cache disabled: %v\n", err)
+			return nil
+		}
+		dir = filepath.Join(base, "whisper-sim")
+	}
+	cache, err := store.OpenCache(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "cache disabled: %v\n", err)
+		return nil
+	}
+	return cache
+}
+
+// run executes the selected suite and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	c, err := parseConfig(args, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	opt := c.opt
+	opt.Cache = openCache(c, stderr)
 
 	var mon *runner.Monitor
 	if c.progress {
-		mon = runner.NewMonitor(os.Stderr)
+		mon = runner.NewMonitor(stderr)
 	} else if c.timing {
 		mon = runner.NewMonitor(nil)
 	}
 	opt.Monitor = mon
+
+	defer func() {
+		if r := recover(); r != nil {
+			ec, ok := r.(exitCode)
+			if !ok {
+				panic(r)
+			}
+			code = int(ec)
+		}
+	}()
 
 	emit := func(t *stats.Table) {
 		if mon != nil {
@@ -134,19 +193,19 @@ func main() {
 		}
 		switch {
 		case c.csv:
-			fmt.Print(t.Title + "\n" + t.CSV() + "\n")
+			fmt.Fprint(stdout, t.Title+"\n"+t.CSV()+"\n")
 		case c.plot:
-			fmt.Println(plot.Render(t, 48))
+			fmt.Fprintln(stdout, plot.Render(t, 48))
 		default:
-			fmt.Println(t.String())
+			fmt.Fprintln(stdout, t.String())
 		}
 	}
 	fail := func(id string, err error) {
 		if mon != nil {
 			mon.Done()
 		}
-		fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "%s failed: %v\n", id, err)
+		panic(exitCode(1))
 	}
 	timed := func(id string, f func() (*stats.Table, error)) {
 		if !c.run(id) {
@@ -158,7 +217,7 @@ func main() {
 			fail(id, err)
 		}
 		emit(t)
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 
 	timed("table1", func() (*stats.Table, error) { return experiments.TableI(), nil })
@@ -244,7 +303,7 @@ func main() {
 		if c.run("fig16") {
 			emit(cmp.TrainTimeTable())
 		}
-		fmt.Printf("[fig12/13/16 completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "[fig12/13/16 completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	timed("fig14", func() (*stats.Table, error) {
@@ -329,8 +388,14 @@ func main() {
 		mon.Done()
 	}
 	if c.timing && mon != nil {
-		fmt.Fprintln(os.Stderr, mon.Summary())
+		fmt.Fprintln(stderr, mon.Summary())
 		hits, misses := experiments.BaselineCacheStats()
-		fmt.Fprintf(os.Stderr, "baseline cache: %d hits, %d misses\n", hits, misses)
+		fmt.Fprintf(stderr, "baseline cache: %d hits, %d misses\n", hits, misses)
+		if opt.Cache != nil {
+			s := opt.Cache.Stats()
+			fmt.Fprintf(stderr, "disk cache (%s): profiles %d hits / %d misses, trains %d hits / %d misses, %d rejected\n",
+				opt.Cache.Dir(), s.ProfileHits, s.ProfileMisses, s.TrainHits, s.TrainMisses, s.Rejected)
+		}
 	}
+	return 0
 }

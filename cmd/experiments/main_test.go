@@ -100,3 +100,35 @@ func TestParseConfigBadFlag(t *testing.T) {
 		t.Fatal("undefined flag must error, not exit")
 	}
 }
+
+func TestParseConfigCacheFlags(t *testing.T) {
+	c, err := parseConfig(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cacheDir != "" || c.noCache {
+		t.Fatalf("cache defaults: dir=%q noCache=%v", c.cacheDir, c.noCache)
+	}
+	c, err = parseConfig([]string{"-cache", "/tmp/whisper-cache", "-no-cache"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cacheDir != "/tmp/whisper-cache" || !c.noCache {
+		t.Fatalf("cache flags not captured: dir=%q noCache=%v", c.cacheDir, c.noCache)
+	}
+	if openCache(c, io.Discard) != nil {
+		t.Fatal("-no-cache must win over -cache")
+	}
+}
+
+func TestOpenCacheExplicitDir(t *testing.T) {
+	dir := t.TempDir()
+	c := &config{cacheDir: dir}
+	cache := openCache(c, io.Discard)
+	if cache == nil {
+		t.Fatal("explicit dir should open")
+	}
+	if cache.Dir() != dir {
+		t.Fatalf("cache dir %q, want %q", cache.Dir(), dir)
+	}
+}

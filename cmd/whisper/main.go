@@ -1,107 +1,301 @@
-// Command whisper drives the paper's usage model (Fig 10) step by step on
-// one application: trace export, in-production profiling, offline branch
-// analysis, link-time hint injection, and simulation of the updated
-// binary.
+// Command whisper drives the paper's usage model (Fig 10) on one
+// application, either fused or as separately persisted stages:
 //
-// Usage:
-//
-//	whisper -app mysql [-records 400000] [-input 0] [-test-input 1]
+//	whisper [-app mysql] [-records 400000] [-input 0] [-test-input 1]
 //	        [-explore 0.05] [-trace out.wbt] [-hints] [-v]
+//	whisper profile -app mysql -o mysql.profile.wspa [-input 0] [-records N]
+//	whisper train -profile mysql.profile.wspa -o mysql.hints.wspa [-explore F]
+//	whisper apply -hints mysql.hints.wspa [-test-input 1] [-warmup 0.3] [-dump]
+//
+// The default (no subcommand) runs the whole flow in one process. The
+// profile/train/apply subcommands run the identical stages through
+// versioned artifact files (package store), so the three-step pipeline
+// reproduces the fused run bit for bit.
 //
 // With -trace the tool additionally writes the application's branch trace
 // in the compact binary format (a stand-in for a decoded Intel PT file).
-// With -hints it dumps the trained brhint program.
+// With -hints (or apply -dump) it dumps the trained brhint program.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"github.com/whisper-sim/whisper/internal/core"
 	"github.com/whisper-sim/whisper/internal/hint"
 	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/profiler"
 	"github.com/whisper-sim/whisper/internal/sim"
+	"github.com/whisper-sim/whisper/internal/store"
 	"github.com/whisper-sim/whisper/internal/trace"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
 
 func main() {
-	appFlag := flag.String("app", "mysql", "application name (see Table I) or 'list'")
-	recordsFlag := flag.Int("records", 400000, "records per window")
-	inputFlag := flag.Int("input", 0, "training input")
-	testFlag := flag.Int("test-input", 1, "evaluation input")
-	exploreFlag := flag.Float64("explore", 0.05, "fraction of formulas explored (>=1 is exhaustive)")
-	traceFlag := flag.String("trace", "", "write the training trace to this file")
-	fromTraceFlag := flag.String("from-trace", "", "simulate the baseline over a previously exported trace file and exit")
-	hintsFlag := flag.Bool("hints", false, "dump the injected brhint program")
-	warmFlag := flag.Float64("warmup", 0.3, "warm-up fraction of the measured window")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommands; no subcommand means the fused one-shot
+// flow. It returns the process exit code so tests can drive the CLI
+// in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "profile":
+			return cmdProfile(args[1:], stdout, stderr)
+		case "train":
+			return cmdTrain(args[1:], stdout, stderr)
+		case "apply":
+			return cmdApply(args[1:], stdout, stderr)
+		}
+	}
+	return cmdOneShot(args, stdout, stderr)
+}
+
+// lookupApp resolves an application name, reporting failures on stderr.
+func lookupApp(name string, stderr io.Writer) *workload.App {
+	app := workload.DataCenterApp(name)
+	if app == nil {
+		fmt.Fprintf(stderr, "unknown app %q (try -app list)\n", name)
+	}
+	return app
+}
+
+// cmdProfile collects a profile artifact (the in-production stage).
+func cmdProfile(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whisper profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appFlag := fs.String("app", "", "application name (see Table I)")
+	inputFlag := fs.Int("input", 0, "training input")
+	recordsFlag := fs.Int("records", 400000, "records per window")
+	outFlag := fs.String("o", "", "output artifact file (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *appFlag == "" || *outFlag == "" {
+		fmt.Fprintln(stderr, "whisper profile: -app and -o are required")
+		return 2
+	}
+	app := lookupApp(*appFlag, stderr)
+	if app == nil {
+		return 2
+	}
+	opt := sim.DefaultBuildOptions()
+	opt.TrainInput = *inputFlag
+	opt.Records = *recordsFlag
+	prof, err := sim.ProfileApp(app, opt)
+	if err != nil {
+		fmt.Fprintf(stderr, "profile: %v\n", err)
+		return 1
+	}
+	art := &store.Artifact{
+		Meta:    store.Meta{App: app.Name(), Input: *inputFlag, Records: *recordsFlag},
+		Profile: prof,
+	}
+	if err := store.WriteFile(*outFlag, art); err != nil {
+		fmt.Fprintf(stderr, "profile: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "== %s: profiling input #%d (%d records) ==\n",
+		app.Name(), *inputFlag, *recordsFlag)
+	printProfileLine(stdout, prof)
+	fmt.Fprintf(stdout, "wrote profile artifact to %s\n", *outFlag)
+	return 0
+}
+
+// cmdTrain runs formula search over a persisted profile (the offline
+// stage) and writes the hint bundle.
+func cmdTrain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whisper train", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	profFlag := fs.String("profile", "", "input profile artifact (required)")
+	outFlag := fs.String("o", "", "output hint artifact (required)")
+	exploreFlag := fs.Float64("explore", 0.05, "fraction of formulas explored (>=1 is exhaustive)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *profFlag == "" || *outFlag == "" {
+		fmt.Fprintln(stderr, "whisper train: -profile and -o are required")
+		return 2
+	}
+	art, err := store.ReadFile(*profFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "train: reading %s: %v\n", *profFlag, err)
+		return 1
+	}
+	if art.Profile == nil {
+		fmt.Fprintf(stderr, "train: %s carries no profile section\n", *profFlag)
+		return 1
+	}
+	params := core.DefaultParams()
+	params.ExploreFraction = *exploreFlag
+	tr, err := core.Train(art.Profile, params)
+	if err != nil {
+		fmt.Fprintf(stderr, "train: %v\n", err)
+		return 1
+	}
+	out := &store.Artifact{
+		Meta:         art.Meta,
+		Train:        tr,
+		WindowInstrs: art.Profile.Instrs,
+	}
+	if err := store.WriteFile(*outFlag, out); err != nil {
+		fmt.Fprintf(stderr, "train: %v\n", err)
+		return 1
+	}
+	printAnalysisLine(stdout, art.Profile, tr)
+	fmt.Fprintf(stdout, "wrote hint artifact to %s\n", *outFlag)
+	return 0
+}
+
+// cmdApply injects a persisted hint bundle into the binary and evaluates
+// it (the link-time + deployment stage).
+func cmdApply(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whisper apply", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	hintsFlag := fs.String("hints", "", "input hint artifact (required)")
+	testFlag := fs.Int("test-input", 1, "evaluation input")
+	warmFlag := fs.Float64("warmup", 0.3, "warm-up fraction of the measured window")
+	dumpFlag := fs.Bool("dump", false, "dump the injected brhint program")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *hintsFlag == "" {
+		fmt.Fprintln(stderr, "whisper apply: -hints is required")
+		return 2
+	}
+	art, err := store.ReadFile(*hintsFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "apply: reading %s: %v\n", *hintsFlag, err)
+		return 1
+	}
+	if art.Train == nil {
+		fmt.Fprintf(stderr, "apply: %s carries no hint section (run 'whisper train' first)\n", *hintsFlag)
+		return 1
+	}
+	app := lookupApp(art.Meta.App, stderr)
+	if app == nil {
+		return 1
+	}
+	opt := sim.DefaultBuildOptions()
+	opt.TrainInput = art.Meta.Input
+	opt.Records = art.Meta.Records
+	b := sim.AssembleHints(app, art.Train, art.WindowInstrs, opt)
+	printInjectionLine(stdout, b)
+	if *dumpFlag {
+		dumpHints(stdout, b)
+	}
+	printEvaluation(stdout, app, b, *testFlag, art.Meta.Records, *warmFlag)
+	return 0
+}
+
+// cmdOneShot is the fused flow: profile, train, inject and evaluate in
+// one process.
+func cmdOneShot(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whisper", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appFlag := fs.String("app", "mysql", "application name (see Table I) or 'list'")
+	recordsFlag := fs.Int("records", 400000, "records per window")
+	inputFlag := fs.Int("input", 0, "training input")
+	testFlag := fs.Int("test-input", 1, "evaluation input")
+	exploreFlag := fs.Float64("explore", 0.05, "fraction of formulas explored (>=1 is exhaustive)")
+	traceFlag := fs.String("trace", "", "write the training trace to this file")
+	fromTraceFlag := fs.String("from-trace", "", "simulate the baseline over a previously exported trace file and exit")
+	hintsFlag := fs.Bool("hints", false, "dump the injected brhint program")
+	warmFlag := fs.Float64("warmup", 0.3, "warm-up fraction of the measured window")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *fromTraceFlag != "" {
-		if err := simulateTrace(*fromTraceFlag, *warmFlag); err != nil {
-			fmt.Fprintf(os.Stderr, "trace simulation: %v\n", err)
-			os.Exit(1)
+		if err := simulateTrace(stdout, *fromTraceFlag, *warmFlag); err != nil {
+			fmt.Fprintf(stderr, "trace simulation: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *appFlag == "list" {
 		for _, spec := range workload.DataCenterSpecs() {
-			fmt.Printf("%-16s %s\n", spec.Config.Name, spec.Workload)
+			fmt.Fprintf(stdout, "%-16s %s\n", spec.Config.Name, spec.Workload)
 		}
-		return
+		return 0
 	}
-	app := workload.DataCenterApp(*appFlag)
+	app := lookupApp(*appFlag, stderr)
 	if app == nil {
-		fmt.Fprintf(os.Stderr, "unknown app %q (try -app list)\n", *appFlag)
-		os.Exit(2)
+		return 2
 	}
 
 	if *traceFlag != "" {
 		if err := exportTrace(app, *inputFlag, *recordsFlag, *traceFlag); err != nil {
-			fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "trace export: %v\n", err)
+			return 1
 		}
-		fmt.Printf("wrote %d records to %s\n", *recordsFlag, *traceFlag)
+		fmt.Fprintf(stdout, "wrote %d records to %s\n", *recordsFlag, *traceFlag)
 	}
 
-	fmt.Printf("== %s: profiling input #%d (%d records) ==\n", app.Name(), *inputFlag, *recordsFlag)
+	fmt.Fprintf(stdout, "== %s: profiling input #%d (%d records) ==\n",
+		app.Name(), *inputFlag, *recordsFlag)
 	bopt := sim.DefaultBuildOptions()
 	bopt.TrainInput = *inputFlag
 	bopt.Records = *recordsFlag
 	bopt.Params.ExploreFraction = *exploreFlag
 	b, err := sim.BuildWhisper(app, bopt)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "build: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "build: %v\n", err)
+		return 1
 	}
-	fmt.Printf("profile: %d instructions, %d conditional executions, baseline MPKI %.2f\n",
-		b.Profile.Instrs, b.Profile.CondExecs, b.Profile.MPKI())
-	fmt.Printf("analysis: %d hard branches, %d hints trained in %v (%d formula scorings)\n",
-		len(b.Profile.Hard), len(b.Train.Hints), b.Train.Duration.Round(1e6), b.Train.FormulaEvals)
-	fmt.Printf("injection: %d hints placed, %d dropped (12-bit pointer range), static +%.1f%%, dynamic +%.1f%%\n",
-		b.Binary.Placed, b.Binary.Dropped,
-		b.Binary.StaticOverhead()*100, b.Binary.DynamicOverhead()*100)
+	printProfileLine(stdout, b.Profile)
+	printAnalysisLine(stdout, b.Profile, b.Train)
+	printInjectionLine(stdout, b)
 
 	if *hintsFlag {
-		dumpHints(b)
+		dumpHints(stdout, b)
 	}
 
+	printEvaluation(stdout, app, b, *testFlag, *recordsFlag, *warmFlag)
+	return 0
+}
+
+// printProfileLine summarizes the collected profile.
+func printProfileLine(w io.Writer, prof *profiler.Profile) {
+	fmt.Fprintf(w, "profile: %d instructions, %d conditional executions, baseline MPKI %.2f\n",
+		prof.Instrs, prof.CondExecs, prof.MPKI())
+}
+
+// printAnalysisLine summarizes the formula search.
+func printAnalysisLine(w io.Writer, prof *profiler.Profile, tr *core.TrainResult) {
+	fmt.Fprintf(w, "analysis: %d hard branches, %d hints trained in %v (%d formula scorings)\n",
+		len(prof.Hard), len(tr.Hints), tr.Duration.Round(1e6), tr.FormulaEvals)
+}
+
+// printInjectionLine summarizes the link-time hint placement.
+func printInjectionLine(w io.Writer, b *sim.WhisperBuild) {
+	fmt.Fprintf(w, "injection: %d hints placed, %d dropped (12-bit pointer range), static +%.1f%%, dynamic +%.1f%%\n",
+		b.Binary.Placed, b.Binary.Dropped,
+		b.Binary.StaticOverhead()*100, b.Binary.DynamicOverhead()*100)
+}
+
+// printEvaluation measures baseline and Whisper on the test input; the
+// fused flow and the apply subcommand share it so their outputs match
+// bit for bit.
+func printEvaluation(w io.Writer, app *workload.App, b *sim.WhisperBuild, testInput, records int, warmFrac float64) {
 	popt := pipeline.Options{
 		Config:        pipeline.DefaultConfig(),
-		WarmupRecords: uint64(float64(*recordsFlag) * *warmFlag),
+		WarmupRecords: uint64(float64(records) * warmFrac),
 	}
-	base := sim.RunApp(app, *testFlag, *recordsFlag, sim.Tage64KB(), popt)
-	res, rt := b.RunWhisperWarm(app, *testFlag, *recordsFlag, sim.Tage64KB, popt)
+	base := sim.RunApp(app, testInput, records, sim.Tage64KB(), popt)
+	res, rt := b.RunWhisperWarm(app, testInput, records, sim.Tage64KB, popt)
 
-	fmt.Printf("\n== evaluation on input #%d ==\n", *testFlag)
-	fmt.Printf("baseline : IPC %.3f  MPKI %.2f  mispredictions %d\n",
+	fmt.Fprintf(w, "\n== evaluation on input #%d ==\n", testInput)
+	fmt.Fprintf(w, "baseline : IPC %.3f  MPKI %.2f  mispredictions %d\n",
 		base.IPC(), base.MPKI(), base.CondMisp)
-	fmt.Printf("whisper  : IPC %.3f  MPKI %.2f  mispredictions %d\n",
+	fmt.Fprintf(w, "whisper  : IPC %.3f  MPKI %.2f  mispredictions %d\n",
 		res.IPC(), res.MPKI(), res.CondMisp)
-	fmt.Printf("reduction %.1f%%  speedup %.2f%%  (hint buffer hit rate %.2f, %d hint executions)\n",
+	fmt.Fprintf(w, "reduction %.1f%%  speedup %.2f%%  (hint buffer hit rate %.2f, %d hint executions)\n",
 		sim.MispReduction(base, res)*100, sim.Speedup(base, res)*100,
 		rt.Buffer().HitRate(), rt.HintExecutions)
 }
@@ -128,7 +322,7 @@ func exportTrace(app *workload.App, input, records int, path string) error {
 }
 
 // dumpHints prints the brhint program sorted by host PC.
-func dumpHints(b *sim.WhisperBuild) {
+func dumpHints(w io.Writer, b *sim.WhisperBuild) {
 	type row struct {
 		host uint64
 		ph   core.PlacedHint
@@ -140,7 +334,7 @@ func dumpHints(b *sim.WhisperBuild) {
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].host < rows[j].host })
-	fmt.Println("\nhost PC    -> branch PC   enc         hint")
+	fmt.Fprintln(w, "\nhost PC    -> branch PC   enc         hint")
 	for _, r := range rows {
 		enc, _ := r.ph.Encoded.Encode()
 		desc := "formula " + r.ph.Hint.Formula.String()
@@ -152,13 +346,15 @@ func dumpHints(b *sim.WhisperBuild) {
 		default:
 			desc = fmt.Sprintf("L=%d %s", b.Train.Lengths[r.ph.Hint.LengthIdx], desc)
 		}
-		fmt.Printf("%#08x -> %#08x  %#09x  %s\n", r.host, r.ph.Hint.PC, enc, desc)
+		fmt.Fprintf(w, "%#08x -> %#08x  %#09x  %s\n", r.host, r.ph.Hint.PC, enc, desc)
 	}
 }
 
 // simulateTrace replays a binary trace file through the baseline machine
-// model — the "decoded Intel PT file" input path.
-func simulateTrace(path string, warmFrac float64) error {
+// model — the "decoded Intel PT file" input path. Traces with nothing to
+// predict are an error, not an all-zero table: an empty or
+// conditional-free file almost always means a broken export.
+func simulateTrace(w io.Writer, path string, warmFrac float64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -174,14 +370,26 @@ func simulateTrace(path string, warmFrac float64) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
+	if len(recs) == 0 {
+		return fmt.Errorf("trace %s contains no records", path)
+	}
+	conds := 0
+	for i := range recs {
+		if recs[i].Kind == trace.CondBranch {
+			conds++
+		}
+	}
+	if conds == 0 {
+		return fmt.Errorf("trace %s contains no conditional branches (%d records)", path, len(recs))
+	}
 	res := pipeline.Run(trace.NewSliceStream(recs), sim.Tage64KB(), pipeline.Options{
 		Config:        pipeline.DefaultConfig(),
 		WarmupRecords: uint64(float64(len(recs)) * warmFrac),
 	})
-	fmt.Printf("trace %s: %d records, %d instructions\n", path, len(recs), trace.CountInstructions(recs))
-	fmt.Printf("baseline: IPC %.3f  MPKI %.2f  cond execs %d  mispredictions %d\n",
+	fmt.Fprintf(w, "trace %s: %d records, %d instructions\n", path, len(recs), trace.CountInstructions(recs))
+	fmt.Fprintf(w, "baseline: IPC %.3f  MPKI %.2f  cond execs %d  mispredictions %d\n",
 		res.IPC(), res.MPKI(), res.CondExecs, res.CondMisp)
-	fmt.Printf("cycles: base %d  squash %d  frontend %d\n",
+	fmt.Fprintf(w, "cycles: base %d  squash %d  frontend %d\n",
 		res.BaseCycles, res.SquashCycles, res.FrontendCycles)
 	return nil
 }

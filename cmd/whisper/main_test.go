@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+const testRecords = "20000"
+
+// runCLI drives the CLI in-process and returns (exit code, stdout,
+// stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// evaluationBlock cuts everything from the "== evaluation" banner on.
+func evaluationBlock(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "== evaluation")
+	if i < 0 {
+		t.Fatalf("no evaluation block in output:\n%s", out)
+	}
+	return out[i:]
+}
+
+// TestStagedMatchesOneShot runs profile → train → apply through artifact
+// files and requires the evaluation block to be byte-identical to the
+// fused one-shot run's.
+func TestStagedMatchesOneShot(t *testing.T) {
+	dir := t.TempDir()
+	profPath := filepath.Join(dir, "mysql.profile.wspa")
+	hintPath := filepath.Join(dir, "mysql.hints.wspa")
+
+	code, oneShot, errOut := runCLI(t, "-app", "mysql", "-records", testRecords)
+	if code != 0 {
+		t.Fatalf("one-shot exit %d: %s", code, errOut)
+	}
+
+	code, _, errOut = runCLI(t, "profile", "-app", "mysql", "-records", testRecords, "-o", profPath)
+	if code != 0 {
+		t.Fatalf("profile exit %d: %s", code, errOut)
+	}
+	code, _, errOut = runCLI(t, "train", "-profile", profPath, "-o", hintPath)
+	if code != 0 {
+		t.Fatalf("train exit %d: %s", code, errOut)
+	}
+	code, applyOut, errOut := runCLI(t, "apply", "-hints", hintPath)
+	if code != 0 {
+		t.Fatalf("apply exit %d: %s", code, errOut)
+	}
+
+	want := evaluationBlock(t, oneShot)
+	got := evaluationBlock(t, applyOut)
+	if got != want {
+		t.Fatalf("staged evaluation differs from one-shot:\n--- one-shot\n%s\n--- staged\n%s", want, got)
+	}
+}
+
+// writeTrace writes records in the binary trace format.
+func writeTrace(t *testing.T, path string, recs []trace.Record) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFromTraceEmpty: a record-free trace must be a clear error, not an
+// all-zero result table.
+func TestFromTraceEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.wbt")
+	writeTrace(t, path, nil)
+	code, _, errOut := runCLI(t, "-from-trace", path)
+	if code == 0 {
+		t.Fatal("empty trace accepted")
+	}
+	if !strings.Contains(errOut, "no records") {
+		t.Fatalf("unhelpful error: %q", errOut)
+	}
+}
+
+// TestFromTraceNoConditionals: a trace without conditional branches has
+// nothing to predict and must also error.
+func TestFromTraceNoConditionals(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jumps.wbt")
+	writeTrace(t, path, []trace.Record{
+		{PC: 0x400000, Target: 0x400100, Kind: trace.UncondDirect, Taken: true, Instrs: 4},
+		{PC: 0x400100, Target: 0x400000, Kind: trace.Call, Taken: true, Instrs: 7},
+	})
+	code, _, errOut := runCLI(t, "-from-trace", path)
+	if code == 0 {
+		t.Fatal("conditional-free trace accepted")
+	}
+	if !strings.Contains(errOut, "no conditional branches") {
+		t.Fatalf("unhelpful error: %q", errOut)
+	}
+}
+
+// TestApplyRejectsCorrupt: a corrupted artifact must fail apply with a
+// store error, never load partially.
+func TestApplyRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	profPath := filepath.Join(dir, "p.wspa")
+	hintPath := filepath.Join(dir, "h.wspa")
+	if code, _, errOut := runCLI(t, "profile", "-app", "kafka", "-records", "4000", "-o", profPath); code != 0 {
+		t.Fatalf("profile exit %d: %s", code, errOut)
+	}
+	if code, _, errOut := runCLI(t, "train", "-profile", profPath, "-o", hintPath); code != 0 {
+		t.Fatalf("train exit %d: %s", code, errOut)
+	}
+	data, err := os.ReadFile(hintPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(hintPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "apply", "-hints", hintPath)
+	if code != 1 {
+		t.Fatalf("corrupt artifact exit %d (want 1): %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "apply: reading") {
+		t.Fatalf("unhelpful error: %q", errOut)
+	}
+}
+
+// TestTrainRequiresProfileSection: feeding a hint bundle back into train
+// is a clear error.
+func TestTrainRequiresProfileSection(t *testing.T) {
+	dir := t.TempDir()
+	profPath := filepath.Join(dir, "p.wspa")
+	hintPath := filepath.Join(dir, "h.wspa")
+	if code, _, errOut := runCLI(t, "profile", "-app", "kafka", "-records", "4000", "-o", profPath); code != 0 {
+		t.Fatalf("profile exit %d: %s", code, errOut)
+	}
+	if code, _, errOut := runCLI(t, "train", "-profile", profPath, "-o", hintPath); code != 0 {
+		t.Fatalf("train exit %d: %s", code, errOut)
+	}
+	code, _, errOut := runCLI(t, "train", "-profile", hintPath, "-o", filepath.Join(dir, "x.wspa"))
+	if code != 1 || !strings.Contains(errOut, "no profile section") {
+		t.Fatalf("exit %d, err %q", code, errOut)
+	}
+}

@@ -139,11 +139,7 @@ func Ablations(opt Options) (*AblationResult, error) {
 
 		params := opt.Params
 		params.NoValidation = true
-		bopt := sim.DefaultBuildOptions()
-		bopt.TrainInput = opt.TrainInput
-		bopt.Records = opt.Records
-		bopt.Params = params
-		nb, err := sim.BuildWhisper(app, bopt)
+		nb, err := opt.buildWhisperAt(app, opt.TrainInput, opt.Records, 64, params)
 		if err != nil {
 			return ablationApp{}, err
 		}

@@ -7,7 +7,6 @@ package experiments
 // paper's cross-input methodology (§V-A).
 
 import (
-	"fmt"
 	"time"
 
 	"github.com/whisper-sim/whisper/internal/bpu"
@@ -110,18 +109,18 @@ func RunComparison(opt Options, techniques []Technique) (*Comparison, error) {
 		var hardProf, rombfProf *profiler.Profile
 		var err error
 		if want[TechWhisper] || want[TechBranchNet8] || want[TechBranchNet32] || want[TechBranchNetUnl] {
-			hardProf, err = profiler.Collect(trainStream, sim.Tage64KB(), profiler.DefaultOptions())
+			hardProf, err = opt.collectProfile(app, opt.TrainInput, opt.Records, 64, profiler.DefaultOptions())
 			if err != nil {
-				return pa, fmt.Errorf("experiments: profiling %s: %w", app.Name(), err)
+				return pa, err
 			}
 		}
 		if want[Tech4bROMBF] || want[Tech8bROMBF] {
 			ropt := profiler.DefaultOptions()
 			ropt.Lengths = []int{8}
 			ropt.MaxHard = 0
-			rombfProf, err = profiler.Collect(trainStream, sim.Tage64KB(), ropt)
+			rombfProf, err = opt.collectProfile(app, opt.TrainInput, opt.Records, 64, ropt)
 			if err != nil {
-				return pa, fmt.Errorf("experiments: rombf profiling %s: %w", app.Name(), err)
+				return pa, err
 			}
 		}
 

@@ -16,9 +16,12 @@ import (
 	"github.com/whisper-sim/whisper/internal/bpu"
 	"github.com/whisper-sim/whisper/internal/core"
 	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/profiler"
 	"github.com/whisper-sim/whisper/internal/runner"
 	"github.com/whisper-sim/whisper/internal/sim"
 	"github.com/whisper-sim/whisper/internal/stats"
+	"github.com/whisper-sim/whisper/internal/store"
+	"github.com/whisper-sim/whisper/internal/trace"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
 
@@ -50,6 +53,11 @@ type Options struct {
 	// Monitor, when non-nil, observes every unit completion for the
 	// live progress line and the -timing report.
 	Monitor *runner.Monitor
+	// Cache, when non-nil, persists profiles and trained hint bundles
+	// across processes (the CLI's -cache flag). It layers under the
+	// in-memory memos: a warm cache turns every profiling and training
+	// computation of a rerun into a disk read.
+	Cache *store.Cache
 }
 
 // Default returns the standard configuration.
@@ -178,14 +186,172 @@ func appNames(apps []*workload.App) []string {
 // pct formats a fraction as "12.3".
 func pct(frac float64) string { return stats.FormatFloat(frac*100, 1) }
 
+// --- profile / train / build caching ----------------------------------
+//
+// Three memo layers sit between the drivers and the offline pipeline.
+// The in-memory memos (keyed on *App identity like baselineMemo) serve
+// repeats within one process; the profile and train layers additionally
+// consult Options.Cache, whose artifacts persist across processes. All
+// keys describe their computation completely — profiles by (app, input,
+// records, profiled-predictor size, profiler options), trained bundles
+// by (profile content, params) — so a cache can never alias two
+// different configurations.
+
+// profileKey identifies one profiler.Collect run.
+type profileKey struct {
+	app     *workload.App
+	input   int
+	records int
+	sizeKB  int
+	popt    string
+}
+
+// profileOptKey canonicalizes profiler.Options for keying.
+func profileOptKey(popt profiler.Options) string {
+	return fmt.Sprintf("lengths=%v,minexecs=%d,minmisp=%d,minrate=%g,maxhard=%d,warmexecs=%d",
+		popt.Lengths, popt.MinExecs, popt.MinMisp, popt.MinRate, popt.MaxHard, popt.WarmExecs)
+}
+
+type profileResult struct {
+	p   *profiler.Profile
+	err error
+}
+
+var profileMemo runner.Memo[profileKey, profileResult]
+
+// buildKey identifies one full Whisper build. The baseline predictor is
+// keyed by its TAGE size (constructed via sim.TageSized, so the size is
+// a complete description); params are a comparable struct.
+type buildKey struct {
+	app     *workload.App
+	input   int
+	records int
+	sizeKB  int
+	params  core.Params
+}
+
+type buildResult struct {
+	b   *sim.WhisperBuild
+	err error
+}
+
+var buildMemo runner.Memo[buildKey, buildResult]
+
+type trainKey struct {
+	prof   *profiler.Profile
+	params core.Params
+}
+
+type trainResult struct {
+	tr  *core.TrainResult
+	err error
+}
+
+var trainMemo runner.Memo[trainKey, trainResult]
+
+// resetMemos clears every cross-driver memo. Tests use it to separate
+// cold from warm passes; correctness never depends on memo state.
+func resetMemos() {
+	baselineMemo.Reset()
+	profileMemo.Reset()
+	trainMemo.Reset()
+	buildMemo.Reset()
+}
+
+// collectProfile collects (or recalls) a profile of app's (input,
+// records) window under a sizeKB TAGE-SC-L, preferring the in-memory
+// memo, then the disk cache, then computing.
+func (o Options) collectProfile(app *workload.App, input, records, sizeKB int, popt profiler.Options) (*profiler.Profile, error) {
+	optKey := profileOptKey(popt)
+	key := profileKey{app: app, input: input, records: records, sizeKB: sizeKB, popt: optKey}
+	r := profileMemo.Do(key, func() profileResult {
+		diskKey := fmt.Sprintf("profile|v%d|app=%s|input=%d|records=%d|tage=%dKB|%s",
+			store.FormatVersion, app.Name(), input, records, sizeKB, optKey)
+		if o.Cache != nil {
+			if p, ok := o.Cache.LoadProfile(diskKey); ok {
+				return profileResult{p: p}
+			}
+		}
+		p, err := profiler.Collect(func() trace.Stream { return app.Stream(input, records) },
+			sim.TageSized(sizeKB)(), popt)
+		if err != nil {
+			return profileResult{err: fmt.Errorf("experiments: profiling %s: %w", app.Name(), err)}
+		}
+		if o.Cache != nil {
+			// Persist failures degrade to an unpopulated cache, nothing more.
+			_ = o.Cache.SaveProfile(diskKey,
+				store.Meta{App: app.Name(), Input: input, Records: records}, p)
+		}
+		return profileResult{p: p}
+	})
+	return r.p, r.err
+}
+
+// trainCached trains (or loads) hints for a profile. The disk key is
+// the profile's content fingerprint plus the params, so incrementally
+// merged profiles (Fig 18) cache correctly at every merge level. No
+// in-memory memo here: callers that mutate profiles between calls go
+// through this directly, everything else through trainProfile.
+func (o Options) trainCached(prof *profiler.Profile, params core.Params) (*core.TrainResult, error) {
+	var diskKey string
+	if o.Cache != nil {
+		fp, err := store.Fingerprint(prof)
+		if err == nil {
+			diskKey = fmt.Sprintf("train|v%d|profile=%s|params=%+v", store.FormatVersion, fp, params)
+			if tr, ok := o.Cache.LoadTrain(diskKey); ok {
+				return tr, nil
+			}
+		}
+	}
+	tr, err := core.Train(prof, params)
+	if err != nil {
+		return nil, err
+	}
+	if diskKey != "" {
+		_ = o.Cache.SaveTrain(diskKey, store.Meta{}, tr, prof.Instrs)
+	}
+	return tr, nil
+}
+
+// trainProfile memoizes trainCached by profile identity. Only safe for
+// profiles that are never mutated after training (all cached/memoized
+// profiles qualify).
+func (o Options) trainProfile(prof *profiler.Profile, params core.Params) (*core.TrainResult, error) {
+	r := trainMemo.Do(trainKey{prof: prof, params: params}, func() trainResult {
+		tr, err := o.trainCached(prof, params)
+		return trainResult{tr: tr, err: err}
+	})
+	return r.tr, r.err
+}
+
+// buildWhisperAt runs (or recalls) the staged offline flow — profile,
+// train, assemble — for one app at an explicit input/records/baseline
+// configuration.
+func (o Options) buildWhisperAt(app *workload.App, trainInput, records, sizeKB int, params core.Params) (*sim.WhisperBuild, error) {
+	key := buildKey{app: app, input: trainInput, records: records, sizeKB: sizeKB, params: params}
+	r := buildMemo.Do(key, func() buildResult {
+		prof, err := o.collectProfile(app, trainInput, records, sizeKB, profiler.DefaultOptions())
+		if err != nil {
+			return buildResult{err: err}
+		}
+		tr, err := o.trainProfile(prof, params)
+		if err != nil {
+			return buildResult{err: fmt.Errorf("experiments: training %s: %w", app.Name(), err)}
+		}
+		bopt := sim.DefaultBuildOptions()
+		bopt.TrainInput = trainInput
+		bopt.Records = records
+		bopt.Params = params
+		bopt.Baseline = sim.TageSized(sizeKB)
+		return buildResult{b: sim.AssembleWhisper(app, prof, tr, bopt)}
+	})
+	return r.b, r.err
+}
+
 // buildWhisper runs the end-to-end offline flow for one app under the
 // experiment options.
 func (o Options) buildWhisper(app *workload.App) (*sim.WhisperBuild, error) {
-	bopt := sim.DefaultBuildOptions()
-	bopt.TrainInput = o.TrainInput
-	bopt.Records = o.Records
-	bopt.Params = o.Params
-	return sim.BuildWhisper(app, bopt)
+	return o.buildWhisperAt(app, o.TrainInput, o.Records, 64, o.Params)
 }
 
 // runWhisper measures a built Whisper binary on the test input.

@@ -23,12 +23,7 @@ func whisperReductionWith(opt Options, phase string, sizeKB int, records int, wa
 		red, mpki float64
 	}
 	per, err := mapApps(opt, phase, func(ai int, app *workload.App, u *runner.Unit) (sweepApp, error) {
-		bopt := sim.DefaultBuildOptions()
-		bopt.TrainInput = opt.TrainInput
-		bopt.Records = records
-		bopt.Params = opt.Params
-		bopt.Baseline = factory
-		b, err := sim.BuildWhisper(app, bopt)
+		b, err := opt.buildWhisperAt(app, opt.TrainInput, records, sizeKB, opt.Params)
 		if err != nil {
 			return sweepApp{}, err
 		}

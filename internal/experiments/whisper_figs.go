@@ -18,7 +18,6 @@ import (
 	"github.com/whisper-sim/whisper/internal/sim"
 	"github.com/whisper-sim/whisper/internal/stats"
 	"github.com/whisper-sim/whisper/internal/tage"
-	"github.com/whisper-sim/whisper/internal/trace"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
 
@@ -149,9 +148,7 @@ func Fig14(opt Options) (*Fig14Result, error) {
 		// coverage differences would contaminate it).
 		ropt := profiler.DefaultOptions()
 		ropt.Lengths = []int{8}
-		rprof, err := profiler.Collect(func() trace.Stream {
-			return app.Stream(opt.TrainInput, opt.Records)
-		}, sim.Tage64KB(), ropt)
+		rprof, err := opt.collectProfile(app, opt.TrainInput, opt.Records, 64, ropt)
 		if err != nil {
 			return fig14App{}, err
 		}
@@ -170,11 +167,7 @@ func Fig14(opt Options) (*Fig14Result, error) {
 		// exhaustive too).
 		run := func(params core.Params) (float64, error) {
 			params.ExploreFraction = 1.0
-			bopt := sim.DefaultBuildOptions()
-			bopt.TrainInput = opt.TrainInput
-			bopt.Records = opt.Records
-			bopt.Params = params
-			b, err := sim.BuildWhisper(app, bopt)
+			b, err := opt.buildWhisperAt(app, opt.TrainInput, opt.Records, 64, params)
 			if err != nil {
 				return 0, err
 			}
@@ -251,11 +244,7 @@ func Fig15(opt Options, fractions []float64) (*Fig15Result, error) {
 				u.AddInstrs(base.Instrs)
 				params := opt.Params
 				params.ExploreFraction = frac
-				bopt := sim.DefaultBuildOptions()
-				bopt.TrainInput = opt.TrainInput
-				bopt.Records = opt.Records
-				bopt.Params = params
-				b, err := sim.BuildWhisper(app, bopt)
+				b, err := opt.buildWhisperAt(app, opt.TrainInput, opt.Records, 64, params)
 				if err != nil {
 					return fig15App{}, err
 				}
@@ -324,11 +313,7 @@ func Fig17(opt Options, testInputs []int) (*Fig17Result, error) {
 			cross = append(cross, sim.MispReduction(base, res))
 			u.AddInstrs(base.Instrs + res.Instrs)
 
-			bopt := sim.DefaultBuildOptions()
-			bopt.TrainInput = ti
-			bopt.Records = opt.Records
-			bopt.Params = opt.Params
-			sameB, err := sim.BuildWhisper(app, bopt)
+			sameB, err := opt.buildWhisperAt(app, ti, opt.Records, 64, opt.Params)
 			if err != nil {
 				return fig17App{}, err
 			}
@@ -404,20 +389,21 @@ func Fig18(opt Options, maxInputs int) (*Fig18Result, error) {
 		var merged, rmerged *profiler.Profile
 		for k := 1; k <= maxInputs; k++ {
 			in := k - 1
-			mk := func() trace.Stream { return app.Stream(in, opt.Records) }
-			p, err := profiler.Collect(mk, sim.Tage64KB(), profiler.DefaultOptions())
+			p, err := opt.collectProfile(app, in, opt.Records, 64, profiler.DefaultOptions())
 			if err != nil {
 				return pa, err
 			}
 			ropt := profiler.DefaultOptions()
 			ropt.Lengths = []int{8}
 			ropt.MaxHard = 0
-			rp, err := profiler.Collect(mk, sim.Tage64KB(), ropt)
+			rp, err := opt.collectProfile(app, in, opt.Records, 64, ropt)
 			if err != nil {
 				return pa, err
 			}
+			// The per-input profiles are shared cache entries; Merge
+			// mutates its receiver, so the accumulators are clones.
 			if merged == nil {
-				merged, rmerged = p, rp
+				merged, rmerged = p.Clone(), rp.Clone()
 			} else {
 				if err := merged.Merge(p); err != nil {
 					return pa, err
@@ -427,8 +413,10 @@ func Fig18(opt Options, maxInputs int) (*Fig18Result, error) {
 				}
 			}
 
-			// Whisper from the merged profile.
-			tr, err := core.Train(merged, opt.Params)
+			// Whisper from the merged profile. trainCached keys on the
+			// profile's content, so each merge level caches separately
+			// even though the accumulator mutates in place.
+			tr, err := opt.trainCached(merged, opt.Params)
 			if err != nil {
 				return pa, err
 			}

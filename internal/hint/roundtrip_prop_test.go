@@ -1,0 +1,83 @@
+package hint
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/formula"
+)
+
+// TestEncodeDecodeFullLattice sweeps the complete brhint field lattice —
+// every history index and bias, the offset extremes, and a formula
+// stride covering all 2^15 encodings across the sweep — and checks
+// Encode/Decode is the identity on valid hints.
+func TestEncodeDecodeFullLattice(t *testing.T) {
+	offsets := []int16{-MaxOffset, -MaxOffset + 1, -1, 0, 1, MaxOffset - 2, MaxOffset - 1}
+	var cases int
+	for hist := 0; hist < 1<<HistoryBits; hist++ {
+		for bias := Bias(0); bias < numBias; bias++ {
+			for _, off := range offsets {
+				// Stride the formula space so every encoding is hit at
+				// least once across the (hist, bias, offset) sweep
+				// while keeping the total around 1.5M iterations.
+				for f := cases % 7; f < formula.NumFormulas; f += 7 {
+					h := BrHint{
+						HistIdx: uint8(hist),
+						Formula: formula.Formula(f),
+						Bias:    bias,
+						Offset:  off,
+					}
+					enc, err := h.Encode()
+					if err != nil {
+						t.Fatalf("Encode(%+v): %v", h, err)
+					}
+					if enc >= 1<<TotalBits {
+						t.Fatalf("Encode(%+v) = %#x exceeds %d bits", h, enc, TotalBits)
+					}
+					got, err := Decode(enc)
+					if err != nil {
+						t.Fatalf("Decode(Encode(%+v)): %v", h, err)
+					}
+					if got != h {
+						t.Fatalf("round trip: got %+v want %+v", got, h)
+					}
+					cases++
+				}
+			}
+		}
+	}
+	if cases < formula.NumFormulas {
+		t.Fatalf("lattice sweep too small: %d cases", cases)
+	}
+}
+
+// TestDecodeEncodeInverse walks encodings directly: every 33-bit value
+// either fails Decode (invalid bias) or re-encodes to itself, so Decode
+// is injective on the valid range.
+func TestDecodeEncodeInverse(t *testing.T) {
+	// Stride through the 33-bit space; the stride is odd so low-field
+	// patterns (offset, bias) cycle through all residues.
+	const stride = 104729 // prime
+	var valid, invalid int
+	for v := uint64(0); v < 1<<TotalBits; v += stride {
+		h, err := Decode(v)
+		if err != nil {
+			invalid++
+			continue
+		}
+		enc, err := h.Encode()
+		if err != nil {
+			t.Fatalf("Encode(Decode(%#x)): %v", v, err)
+		}
+		if enc != v {
+			t.Fatalf("Decode(%#x) re-encodes to %#x", v, enc)
+		}
+		valid++
+	}
+	if valid == 0 || invalid == 0 {
+		t.Fatalf("degenerate sweep: %d valid, %d invalid", valid, invalid)
+	}
+	// Above the 33-bit range Decode must refuse.
+	if _, err := Decode(1 << TotalBits); err == nil {
+		t.Fatal("Decode accepted a 34-bit value")
+	}
+}

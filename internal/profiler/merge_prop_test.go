@@ -1,0 +1,141 @@
+package profiler
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomProfile builds a synthetic profile with only exported fields
+// populated, the way a store round trip would produce one. Merge only
+// touches exported state, so DeepEqual comparisons are meaningful.
+func randomProfile(rng *rand.Rand, lengths []int) *Profile {
+	p := &Profile{
+		Lengths:   append([]int(nil), lengths...),
+		Stats:     map[uint64]*BranchStats{},
+		Hard:      map[uint64]*HardProfile{},
+		Records:   uint64(rng.Intn(100000)),
+		Instrs:    uint64(rng.Intn(1000000)),
+		CondExecs: uint64(rng.Intn(100000)),
+		Mispreds:  uint64(rng.Intn(10000)),
+	}
+	// Overlapping PC sets across profiles: draw from a small space.
+	for i, n := 0, 3+rng.Intn(6); i < n; i++ {
+		pc := 0x400000 + uint64(rng.Intn(16))*64
+		p.Stats[pc] = &BranchStats{
+			Execs: uint64(rng.Intn(5000)),
+			Misp:  uint64(rng.Intn(500)),
+			Taken: uint64(rng.Intn(5000)),
+		}
+	}
+	for pc := range p.Stats {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		hp := &HardProfile{
+			PC:        pc,
+			T:         make([][256]uint32, len(lengths)),
+			NT:        make([][256]uint32, len(lengths)),
+			VT:        make([][256]uint32, len(lengths)),
+			VNT:       make([][256]uint32, len(lengths)),
+			Execs:     p.Stats[pc].Execs,
+			Misp:      p.Stats[pc].Misp,
+			MeasExecs: uint64(rng.Intn(5000)),
+			MispMeas:  uint64(rng.Intn(500)),
+			MispVal:   uint64(rng.Intn(250)),
+		}
+		for i := range lengths {
+			for k := 0; k < 8; k++ {
+				hp.T[i][rng.Intn(256)] += uint32(rng.Intn(100))
+				hp.NT[i][rng.Intn(256)] += uint32(rng.Intn(100))
+				hp.VT[i][rng.Intn(256)] += uint32(rng.Intn(100))
+				hp.VNT[i][rng.Intn(256)] += uint32(rng.Intn(100))
+			}
+		}
+		p.Hard[pc] = hp
+	}
+	return p
+}
+
+// mergeAll clones the first profile and merges the rest into it.
+func mergeAll(t *testing.T, ps []*Profile) *Profile {
+	t.Helper()
+	acc := ps[0].Clone()
+	for _, p := range ps[1:] {
+		if err := acc.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc
+}
+
+// TestMergeOrderIndependence is the Fig 18 correctness property: merging
+// a window list in any order yields identical counters, histograms, and
+// MPKI. Each trial draws random profiles over overlapping PC sets and
+// compares the identity permutation against shuffles.
+func TestMergeOrderIndependence(t *testing.T) {
+	lengths := []int{8, 16, 64}
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		n := 2 + rng.Intn(4)
+		ps := make([]*Profile, n)
+		for i := range ps {
+			ps[i] = randomProfile(rng, lengths)
+		}
+		want := mergeAll(t, ps)
+		for perm := 0; perm < 6; perm++ {
+			shuffled := append([]*Profile(nil), ps...)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			got := mergeAll(t, shuffled)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d perm %d: merge order changed the result", trial, perm)
+			}
+			if got.MPKI() != want.MPKI() {
+				t.Fatalf("trial %d perm %d: MPKI differs: %v vs %v", trial, perm, got.MPKI(), want.MPKI())
+			}
+		}
+	}
+}
+
+// TestMergeLeavesSourcesIntact guards the cache-sharing contract: the
+// merged-into clone must not alias the source profiles' maps or
+// histogram slices.
+func TestMergeLeavesSourcesIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomProfile(rng, []int{8, 16})
+	b := randomProfile(rng, []int{8, 16})
+	aCopy := a.Clone()
+	bCopy := b.Clone()
+	acc := mergeAll(t, []*Profile{a, b})
+	if !reflect.DeepEqual(a, aCopy) || !reflect.DeepEqual(b, bCopy) {
+		t.Fatal("merging into a clone mutated a source profile")
+	}
+	// Mutating the merge result must not leak back either.
+	for pc, hp := range acc.Hard {
+		hp.Execs += 1000
+		for i := range hp.T {
+			hp.T[i][0] += 9
+		}
+		_ = pc
+	}
+	acc.Records += 5
+	if !reflect.DeepEqual(a, aCopy) || !reflect.DeepEqual(b, bCopy) {
+		t.Fatal("merge result aliases a source profile")
+	}
+}
+
+// TestMergeRejectsLengthMismatch covers the error path.
+func TestMergeRejectsLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomProfile(rng, []int{8, 16})
+	b := randomProfile(rng, []int{8, 32})
+	if err := a.Clone().Merge(b); err == nil {
+		t.Fatal("merging different length sets should fail")
+	}
+	c := randomProfile(rng, []int{8})
+	if err := a.Clone().Merge(c); err == nil {
+		t.Fatal("merging different length counts should fail")
+	}
+}

@@ -272,6 +272,33 @@ func (p *Profile) HardPCs() []uint64 {
 	return out
 }
 
+// Clone returns a deep copy of p. Merge mutates its receiver, so
+// callers holding shared (cached) profiles merge into a clone.
+func (p *Profile) Clone() *Profile {
+	q := &Profile{
+		Lengths:   append([]int(nil), p.Lengths...),
+		Stats:     make(map[uint64]*BranchStats, len(p.Stats)),
+		Hard:      make(map[uint64]*HardProfile, len(p.Hard)),
+		Records:   p.Records,
+		Instrs:    p.Instrs,
+		CondExecs: p.CondExecs,
+		Mispreds:  p.Mispreds,
+	}
+	for pc, bs := range p.Stats {
+		c := *bs
+		q.Stats[pc] = &c
+	}
+	for pc, hp := range p.Hard {
+		c := *hp
+		c.T = append([][256]uint32(nil), hp.T...)
+		c.NT = append([][256]uint32(nil), hp.NT...)
+		c.VT = append([][256]uint32(nil), hp.VT...)
+		c.VNT = append([][256]uint32(nil), hp.VNT...)
+		q.Hard[pc] = &c
+	}
+	return q
+}
+
 // Merge folds other's counters and histograms into p (paper Fig 18:
 // merging profiles from multiple inputs). Both profiles must use the same
 // candidate lengths. Branches hard in either profile are hard in the

@@ -53,3 +53,14 @@ func (m *Memo[K, V]) Len() int {
 	defer m.mu.Unlock()
 	return len(m.m)
 }
+
+// Reset drops every cached entry and zeroes the hit/miss counters.
+// Callers must not race Reset with Do; tests use it to force
+// recomputation between otherwise-identical runs.
+func (m *Memo[K, V]) Reset() {
+	m.mu.Lock()
+	m.m = nil
+	m.mu.Unlock()
+	m.hits.Store(0)
+	m.misses.Store(0)
+}

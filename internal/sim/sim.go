@@ -91,8 +91,8 @@ func DefaultBuildOptions() BuildOptions {
 	}
 }
 
-// BuildWhisper runs the full offline flow for one application.
-func BuildWhisper(app *workload.App, opt BuildOptions) (*WhisperBuild, error) {
+// normalize fills unset build options with the paper defaults.
+func (opt BuildOptions) normalize() BuildOptions {
 	if opt.Baseline == nil {
 		opt.Baseline = Tage64KB
 	}
@@ -108,23 +108,60 @@ func BuildWhisper(app *workload.App, opt BuildOptions) (*WhisperBuild, error) {
 	if opt.Placement.MaxOffset == 0 && opt.Placement.MinPrecision == 0 {
 		opt.Placement = cfg.DefaultPlacementOptions()
 	}
-	mk := func() trace.Stream { return app.Stream(opt.TrainInput, opt.Records) }
+	return opt
+}
 
-	prof, err := profiler.Collect(mk, opt.Baseline(), opt.Profiler)
+// BuildWhisper runs the full offline flow for one application. It is
+// the fused form of the staged pipeline: ProfileApp, then core.Train,
+// then AssembleWhisper — each stage's output can also be persisted in a
+// store artifact and the pipeline resumed in another process with
+// bit-identical results.
+func BuildWhisper(app *workload.App, opt BuildOptions) (*WhisperBuild, error) {
+	opt = opt.normalize()
+	prof, err := ProfileApp(app, opt)
 	if err != nil {
-		return nil, fmt.Errorf("sim: profiling %s: %w", app.Name(), err)
+		return nil, err
 	}
 	tr, err := core.Train(prof, opt.Params)
 	if err != nil {
 		return nil, fmt.Errorf("sim: training %s: %w", app.Name(), err)
 	}
-	g := cfg.Build(mk())
+	return AssembleWhisper(app, prof, tr, opt), nil
+}
+
+// ProfileApp runs the in-production profiling stage (paper Fig 10,
+// step 1) for one application window.
+func ProfileApp(app *workload.App, opt BuildOptions) (*profiler.Profile, error) {
+	opt = opt.normalize()
+	mk := func() trace.Stream { return app.Stream(opt.TrainInput, opt.Records) }
+	prof, err := profiler.Collect(mk, opt.Baseline(), opt.Profiler)
+	if err != nil {
+		return nil, fmt.Errorf("sim: profiling %s: %w", app.Name(), err)
+	}
+	return prof, nil
+}
+
+// AssembleWhisper runs the link-time stage: build the CFG of the
+// training window and inject the trained hints into it. prof supplies
+// the window instruction count for overhead accounting.
+func AssembleWhisper(app *workload.App, prof *profiler.Profile, tr *core.TrainResult, opt BuildOptions) *WhisperBuild {
+	b := AssembleHints(app, tr, prof.Instrs, opt)
+	b.Profile = prof
+	return b
+}
+
+// AssembleHints is AssembleWhisper without the profile: the `whisper
+// apply` path, where only the trained hint bundle (plus the window
+// instruction count it carries) crossed the process boundary.
+func AssembleHints(app *workload.App, tr *core.TrainResult, windowInstrs uint64, opt BuildOptions) *WhisperBuild {
+	opt = opt.normalize()
+	g := cfg.Build(app.Stream(opt.TrainInput, opt.Records))
 	bin := core.Inject(tr, g, core.InjectOptions{
 		Placement:    opt.Placement,
 		StaticInstrs: staticInstrs(app),
-		WindowInstrs: prof.Instrs,
+		WindowInstrs: windowInstrs,
 	})
-	return &WhisperBuild{Profile: prof, Train: tr, Graph: g, Binary: bin}, nil
+	return &WhisperBuild{Train: tr, Graph: g, Binary: bin}
 }
 
 // staticInstrs estimates the original binary's static instruction count:

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/core"
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/store"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+// TestStagedMatchesFused is the store's core guarantee: running the
+// pipeline in stages — profile, persist, reload, train, persist,
+// reload, assemble — produces the same build and the same evaluation
+// results as the fused BuildWhisper call, bit for bit.
+func TestStagedMatchesFused(t *testing.T) {
+	app := workload.DataCenterApp("mysql")
+	opt := DefaultBuildOptions()
+	opt.Records = 20000
+
+	fused, err := BuildWhisper(app, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 1: profile, through a store round trip.
+	prof, err := ProfileApp(workload.DataCenterApp("mysql"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profArt := &store.Artifact{
+		Meta:    store.Meta{App: app.Name(), Input: opt.TrainInput, Records: opt.Records},
+		Profile: prof,
+	}
+	var buf bytes.Buffer
+	if err := store.Write(&buf, profArt); err != nil {
+		t.Fatal(err)
+	}
+	loadedProf, err := store.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The accuracy pass keeps private warm-up counters that only matter
+	// during collection and deliberately don't persist; the canonical
+	// encoding covers exactly the fields training reads, so compare
+	// fingerprints rather than raw structs.
+	wantFP, err := store.Fingerprint(fused.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFP, err := store.Fingerprint(loadedProf.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != wantFP {
+		t.Fatal("persisted profile differs from the fused run's")
+	}
+
+	// Stage 2: train from the reloaded profile, through a round trip.
+	tr, err := core.Train(loadedProf.Profile, opt.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hintArt := &store.Artifact{
+		Meta:         loadedProf.Meta,
+		Train:        tr,
+		WindowInstrs: loadedProf.Profile.Instrs,
+	}
+	buf.Reset()
+	if err := store.Write(&buf, hintArt); err != nil {
+		t.Fatal(err)
+	}
+	loadedTr, err := store.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training wall-clock is the one field that legitimately differs.
+	wantTr := *fused.Train
+	gotTr := *loadedTr.Train
+	wantTr.Duration, gotTr.Duration = 0, 0
+	if !reflect.DeepEqual(&gotTr, &wantTr) {
+		t.Fatal("persisted train result differs from the fused run's")
+	}
+
+	// Stage 3: assemble from the hint bundle alone (the apply path).
+	applyApp := workload.DataCenterApp(loadedTr.Meta.App)
+	if applyApp == nil {
+		t.Fatalf("meta names unknown app %q", loadedTr.Meta.App)
+	}
+	aopt := DefaultBuildOptions()
+	aopt.TrainInput = loadedTr.Meta.Input
+	aopt.Records = loadedTr.Meta.Records
+	staged := AssembleHints(applyApp, loadedTr.Train, loadedTr.WindowInstrs, aopt)
+	if !reflect.DeepEqual(staged.Binary, fused.Binary) {
+		t.Fatal("staged binary differs from fused binary")
+	}
+
+	// Final check: identical evaluation numbers on the test input.
+	popt := pipeline.Options{
+		Config:        pipeline.DefaultConfig(),
+		WarmupRecords: uint64(float64(opt.Records) * 0.3),
+	}
+	fusedRes, _ := fused.RunWhisperWarm(app, 1, opt.Records, Tage64KB, popt)
+	stagedRes, _ := staged.RunWhisperWarm(applyApp, 1, opt.Records, Tage64KB, popt)
+	if fusedRes != stagedRes {
+		t.Fatalf("evaluation differs:\nfused  %+v\nstaged %+v", fusedRes, stagedRes)
+	}
+}

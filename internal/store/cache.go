@@ -1,0 +1,128 @@
+package store
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"github.com/whisper-sim/whisper/internal/core"
+	"github.com/whisper-sim/whisper/internal/profiler"
+)
+
+// Cache is a content-addressed artifact directory: one file per cache
+// key, named by the key's hash, holding a profile snapshot or a trained
+// hint bundle. Damaged, truncated, or future-version entries count as
+// misses (the caller regenerates and overwrites), so a bad cache can
+// slow a run down but never corrupt it.
+type Cache struct {
+	dir string
+
+	profileHits, profileMisses atomic.Uint64
+	trainHits, trainMisses     atomic.Uint64
+	rejected                   atomic.Uint64
+}
+
+// CacheStats counts cache activity for the -timing report and tests.
+type CacheStats struct {
+	ProfileHits, ProfileMisses uint64
+	TrainHits, TrainMisses     uint64
+	// Rejected counts entries that existed on disk but failed to decode
+	// (corrupt, truncated, or written by a newer format version).
+	Rejected uint64
+}
+
+// OpenCache creates (if needed) and opens a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		ProfileHits:   c.profileHits.Load(),
+		ProfileMisses: c.profileMisses.Load(),
+		TrainHits:     c.trainHits.Load(),
+		TrainMisses:   c.trainMisses.Load(),
+		Rejected:      c.rejected.Load(),
+	}
+}
+
+// path maps a cache key to its file. The filename carries a hash, not
+// the key; Meta.Key inside the artifact is compared against the full
+// key on load, so a hash collision degrades to a miss.
+func (c *Cache) path(kind, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, fmt.Sprintf("%s-%x.wspa", kind, sum[:16]))
+}
+
+// load reads the artifact stored under key, or nil on any miss.
+func (c *Cache) load(kind, key string) *Artifact {
+	p := c.path(kind, key)
+	a, err := ReadFile(p)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.rejected.Add(1)
+			// Future-version entries belong to a newer tool and are
+			// left in place; anything else is damage, and removing it
+			// lets the regenerated artifact take the slot cleanly.
+			if !errors.Is(err, ErrVersion) {
+				os.Remove(p)
+			}
+		}
+		return nil
+	}
+	if a.Meta.Key != key {
+		return nil
+	}
+	return a
+}
+
+// save writes an artifact under key; failures are returned but callers
+// may ignore them (a cache that cannot persist still computes).
+func (c *Cache) save(kind, key string, a *Artifact) error {
+	a.Meta.Key = key
+	return WriteFile(c.path(kind, key), a)
+}
+
+// LoadProfile returns the profile cached under key, if present and intact.
+func (c *Cache) LoadProfile(key string) (*profiler.Profile, bool) {
+	if a := c.load("profile", key); a != nil && a.Profile != nil {
+		c.profileHits.Add(1)
+		return a.Profile, true
+	}
+	c.profileMisses.Add(1)
+	return nil, false
+}
+
+// SaveProfile caches a profile under key.
+func (c *Cache) SaveProfile(key string, meta Meta, p *profiler.Profile) error {
+	return c.save("profile", key, &Artifact{Meta: meta, Profile: p})
+}
+
+// LoadTrain returns the trained hint bundle cached under key.
+func (c *Cache) LoadTrain(key string) (*core.TrainResult, bool) {
+	if a := c.load("train", key); a != nil && a.Train != nil {
+		c.trainHits.Add(1)
+		return a.Train, true
+	}
+	c.trainMisses.Add(1)
+	return nil, false
+}
+
+// SaveTrain caches a trained hint bundle under key.
+func (c *Cache) SaveTrain(key string, meta Meta, tr *core.TrainResult, windowInstrs uint64) error {
+	return c.save("train", key, &Artifact{Meta: meta, Train: tr, WindowInstrs: windowInstrs})
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRoundTrip checks the codec on arbitrary bytes: decoding
+// never panics, and any stream that decodes cleanly (valid header, no
+// decode error) re-encodes byte-identically — the reader accepts
+// exactly the writer's canonical output.
+func FuzzTraceRoundTrip(f *testing.F) {
+	encode := func(recs []Record) []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := range recs {
+			if err := w.Write(&recs[i]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(encode(nil))
+	f.Add(encode([]Record{
+		{PC: 0x401000, Target: 0x401050, Kind: CondBranch, Taken: true, Instrs: 5},
+		{PC: 0x401050, Target: 0x400000, Kind: Return, Taken: true, Instrs: 0},
+		{PC: 0x3f0000, Target: 0x401000, Kind: IndirectJump, Taken: true, Instrs: 1<<32 - 1},
+	}))
+	f.Add([]byte("WBT1"))
+	f.Add([]byte("WBT1\x00"))
+	f.Add([]byte("XXXX"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // bad or short magic: rejected before any decode
+		}
+		var recs []Record
+		var rec Record
+		for r.Next(&rec) {
+			recs = append(recs, rec)
+		}
+		if r.Err() != nil {
+			return // corrupt or truncated input, correctly refused
+		}
+
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range recs {
+			if err := w.Write(&recs[i]); err != nil {
+				t.Fatalf("decoded record %d fails to encode: %v", i, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("decode/encode not identity (%d records):\nin  %x\nout %x",
+				len(recs), data, buf.Bytes())
+		}
+	})
+}

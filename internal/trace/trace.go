@@ -218,10 +218,47 @@ func (w *Writer) Write(rec *Record) error {
 func (w *Writer) Flush() error { return w.w.Flush() }
 
 // Reader decodes records from an io.Reader and implements Stream.
+//
+// The reader accepts exactly the writer's output: varints must be
+// minimal-length, so any stream that decodes cleanly re-encodes
+// byte-identically (the property the fuzz harness checks).
 type Reader struct {
 	r      *bufio.Reader
 	prevPC uint64
 	err    error
+}
+
+// errNonMinimal marks a padded varint; the writer never emits one.
+var errNonMinimal = errors.New("trace: non-minimal varint")
+
+// readUvarint reads one canonical uvarint. A clean EOF before the first
+// byte propagates as io.EOF; EOF mid-varint becomes ErrUnexpectedEOF.
+func (r *Reader) readUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		c, err := r.r.ReadByte()
+		if err != nil {
+			if i > 0 && err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if i == 9 {
+			if c != 1 {
+				return 0, fmt.Errorf("trace: varint overflows uint64")
+			}
+			return x | uint64(c)<<s, nil
+		}
+		if c < 0x80 {
+			if i > 0 && c == 0 {
+				return 0, errNonMinimal
+			}
+			return x | uint64(c)<<s, nil
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
 }
 
 // NewReader validates the header and returns a Reader.
@@ -243,14 +280,14 @@ func (r *Reader) Next(rec *Record) bool {
 	if r.err != nil {
 		return false
 	}
-	dpc, err := binary.ReadUvarint(r.r)
+	dpc, err := r.readUvarint()
 	if err != nil {
 		if err != io.EOF {
-			r.err = err
+			r.err = fmt.Errorf("trace: truncated record: %w", err)
 		}
 		return false
 	}
-	dtgt, err := binary.ReadUvarint(r.r)
+	dtgt, err := r.readUvarint()
 	if err != nil {
 		r.err = fmt.Errorf("trace: truncated record: %w", err)
 		return false
@@ -260,7 +297,7 @@ func (r *Reader) Next(rec *Record) bool {
 		r.err = fmt.Errorf("trace: truncated record: %w", err)
 		return false
 	}
-	instrs, err := binary.ReadUvarint(r.r)
+	instrs, err := r.readUvarint()
 	if err != nil {
 		r.err = fmt.Errorf("trace: truncated record: %w", err)
 		return false
