@@ -5,7 +5,7 @@
 //
 //	experiments [-scale tiny|small|full] [-records N] [-only fig13,fig12]
 //	            [-apps mysql,kafka] [-j N] [-progress] [-timing] [-csv]
-//	            [-cache DIR] [-no-cache]
+//	            [-cache DIR] [-no-cache] [-journal FILE] [-debug-addr ADDR]
 //
 // Without -only it runs the complete suite in paper order. Results print
 // as aligned text tables (or CSV with -csv); docs/experiments.md maps
@@ -23,6 +23,12 @@
 // entirely. Cached artifacts are verified (CRC-checked sections, keyed
 // by complete configuration); corrupt or stale entries are discarded
 // and recomputed.
+//
+// -journal FILE writes a structured JSONL run journal (a manifest line,
+// one event per completed simulation unit, and a final metrics snapshot;
+// see docs/observability.md). -debug-addr ADDR serves /metrics
+// (Prometheus text), /debug/vars (expvar) and /debug/pprof for the
+// duration of the run. Neither flag changes stdout by a single byte.
 package main
 
 import (
@@ -31,6 +37,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -39,19 +47,23 @@ import (
 	"github.com/whisper-sim/whisper/internal/runner"
 	"github.com/whisper-sim/whisper/internal/stats"
 	"github.com/whisper-sim/whisper/internal/store"
+	"github.com/whisper-sim/whisper/internal/telemetry"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
 
 // config is the parsed command line.
 type config struct {
-	opt      experiments.Options
-	only     map[string]bool
-	csv      bool
-	plot     bool
-	progress bool
-	timing   bool
-	cacheDir string
-	noCache  bool
+	opt       experiments.Options
+	only      map[string]bool
+	csv       bool
+	plot      bool
+	progress  bool
+	timing    bool
+	cacheDir  string
+	noCache   bool
+	scaleName string
+	journal   string
+	debugAddr string
 }
 
 // run reports whether the experiment id is selected (-only empty means
@@ -74,19 +86,24 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	plotFlag := fs.Bool("plot", false, "render numeric columns as ASCII bar charts")
 	cacheFlag := fs.String("cache", "", "profile/hint cache directory (default: <user cache dir>/whisper-sim)")
 	noCacheFlag := fs.Bool("no-cache", false, "disable the on-disk profile/hint cache")
+	journalFlag := fs.String("journal", "", "write a JSONL run journal (manifest, per-unit events, final snapshot) to this file")
+	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 
 	c := &config{
-		opt:      experiments.Default(),
-		only:     map[string]bool{},
-		csv:      *csvFlag,
-		plot:     *plotFlag,
-		progress: *progressFlag,
-		timing:   *timingFlag,
-		cacheDir: *cacheFlag,
-		noCache:  *noCacheFlag,
+		opt:       experiments.Default(),
+		only:      map[string]bool{},
+		csv:       *csvFlag,
+		plot:      *plotFlag,
+		progress:  *progressFlag,
+		timing:    *timingFlag,
+		cacheDir:  *cacheFlag,
+		noCache:   *noCacheFlag,
+		scaleName: *scaleFlag,
+		journal:   *journalFlag,
+		debugAddr: *debugFlag,
 	}
 	switch *scaleFlag {
 	case "tiny":
@@ -159,6 +176,32 @@ func openCache(c *config, stderr io.Writer) *store.Cache {
 	return cache
 }
 
+// manifest describes the run for the journal's first line.
+func (c *config) manifest() telemetry.Manifest {
+	apps := make([]string, 0, len(c.opt.Apps))
+	for _, a := range c.opt.Apps {
+		apps = append(apps, a.Name())
+	}
+	only := make([]string, 0, len(c.only))
+	for id := range c.only {
+		only = append(only, id)
+	}
+	sort.Strings(only)
+	return telemetry.Manifest{
+		Tool:       "experiments",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    c.opt.Parallelism,
+		Config: map[string]any{
+			"scale":   c.scaleName,
+			"records": c.opt.Records,
+			"apps":    apps,
+			"only":    only,
+			"cache":   !c.noCache,
+		},
+	}
+}
+
 // run executes the selected suite and returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) (code int) {
 	c, err := parseConfig(args, stderr)
@@ -169,11 +212,59 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	opt := c.opt
 	opt.Cache = openCache(c, stderr)
 
+	// A journal or debug endpoint needs the process-wide registry; a
+	// fresh one per run makes the final snapshot cover exactly this run
+	// (and keeps in-process test runs isolated). Everything below is
+	// deferred so the error paths (which unwind via panic(exitCode))
+	// still snapshot and detach cleanly.
+	var journal *telemetry.Journal
+	if c.journal != "" || c.debugAddr != "" {
+		prev := telemetry.Default()
+		telemetry.Install(telemetry.NewRegistry())
+		defer telemetry.Install(prev)
+	}
+	if c.debugAddr != "" {
+		srv, err := telemetry.ServeDebug(c.debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "debug endpoint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "debug endpoint: http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
+	}
+	if c.journal != "" {
+		f, err := os.Create(c.journal)
+		if err != nil {
+			fmt.Fprintf(stderr, "journal: %v\n", err)
+			return 2
+		}
+		journal = telemetry.NewJournal(f)
+		journal.WriteManifest(c.manifest())
+		defer func() {
+			journal.WriteSnapshot(telemetry.Default())
+			if err := journal.Err(); err != nil {
+				fmt.Fprintf(stderr, "journal: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+			if err := f.Close(); err != nil && code == 0 {
+				fmt.Fprintf(stderr, "journal: %v\n", err)
+				code = 1
+			}
+		}()
+	}
+
 	var mon *runner.Monitor
 	if c.progress {
 		mon = runner.NewMonitor(stderr)
-	} else if c.timing {
+	} else if c.timing || journal != nil || c.debugAddr != "" {
+		// Silent monitor: no progress line, but unit accounting still
+		// feeds the journal and the whisper_runner_* series on /metrics.
 		mon = runner.NewMonitor(nil)
+	}
+	if journal != nil && mon != nil {
+		mon.AttachJournal(journal)
 	}
 	opt.Monitor = mon
 
@@ -387,8 +478,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if mon != nil {
 		mon.Done()
 	}
-	if c.timing && mon != nil {
-		fmt.Fprintln(stderr, mon.Summary())
+	// The cache stats are not monitor state: print them for every
+	// -timing run, whether or not a monitor/progress writer is attached.
+	if c.timing {
+		if mon != nil {
+			fmt.Fprintln(stderr, mon.Summary())
+		}
 		hits, misses := experiments.BaselineCacheStats()
 		fmt.Fprintf(stderr, "baseline cache: %d hits, %d misses\n", hits, misses)
 		if opt.Cache != nil {

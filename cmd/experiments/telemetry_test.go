@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/telemetry"
+)
+
+// journalRow mirrors the journal line shape for test-side decoding.
+type journalRow struct {
+	Type    string         `json:"type"`
+	Label   string         `json:"label"`
+	Instrs  uint64         `json:"instrs"`
+	Metrics map[string]any `json:"metrics"`
+}
+
+// TestJournalDoesNotPerturbStdout is the acceptance gate for the
+// telemetry layer: running with -journal (and -timing, at -j 8) must
+// leave stdout byte-identical to a plain run, and the journal itself
+// must validate with a snapshot whose instruction total matches both
+// the per-unit events and the -timing summary on stderr.
+func TestJournalDoesNotPerturbStdout(t *testing.T) {
+	// fig1 runs full pipeline simulations (so the whisper_sim_* counters
+	// populate); fig6 adds a second driver to the same journal.
+	base := []string{
+		"-scale", "tiny", "-records", "2000", "-apps", "mysql",
+		"-only", "fig1,fig6", "-no-cache",
+	}
+
+	// The journal run goes first: later runs of the same configuration
+	// hit the in-process baseline memo and skip the actual simulations,
+	// which would leave the whisper_sim_* counters empty.
+	journalPath := filepath.Join(t.TempDir(), "run.jsonl")
+	var telOut, telErr bytes.Buffer
+	args := append([]string{"-j", "8", "-journal", journalPath, "-timing"}, base...)
+	if code := run(args, &telOut, &telErr); code != 0 {
+		t.Fatalf("journal run exit %d: %s", code, telErr.String())
+	}
+
+	var plainOut, plainErr bytes.Buffer
+	if code := run(append([]string{"-j", "2"}, base...), &plainOut, &plainErr); code != 0 {
+		t.Fatalf("plain run exit %d: %s", code, plainErr.String())
+	}
+
+	plain := completedRe.ReplaceAllString(plainOut.String(), "completed in X]")
+	tel := completedRe.ReplaceAllString(telOut.String(), "completed in X]")
+	if plain != tel {
+		t.Fatalf("stdout changed with -journal -timing -j 8:\n--- plain\n%s\n--- telemetry\n%s", plain, tel)
+	}
+
+	data, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := telemetry.ValidateJournal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("journal invalid: %v", err)
+	}
+	if units == 0 {
+		t.Fatal("journal carries no unit events")
+	}
+
+	var unitInstrs uint64
+	var snapshot map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var row journalRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatal(err)
+		}
+		switch row.Type {
+		case "unit":
+			unitInstrs += row.Instrs
+		case "snapshot":
+			snapshot = row.Metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := metricValue(t, snapshot, "whisper_runner_instructions_total")
+	if total != unitInstrs {
+		t.Fatalf("snapshot whisper_runner_instructions_total = %d, unit events sum to %d", total, unitInstrs)
+	}
+	simTotal := metricValue(t, snapshot, "whisper_sim_instructions_total")
+	if simTotal == 0 {
+		t.Fatal("snapshot whisper_sim_instructions_total is zero")
+	}
+
+	// The -timing summary and the journal must agree on what ran.
+	m := regexp.MustCompile(`runner: (\d+) units in `).FindStringSubmatch(telErr.String())
+	if m == nil {
+		t.Fatalf("no timing summary on stderr: %q", telErr.String())
+	}
+	if got, _ := strconv.Atoi(m[1]); got != units {
+		t.Fatalf("timing summary reports %s units, journal has %d unit events", m[1], units)
+	}
+	wantLine := fmt.Sprintf("runner: %.1fM instructions simulated", float64(total)/1e6)
+	if !bytes.Contains(telErr.Bytes(), []byte(wantLine)) {
+		t.Fatalf("timing summary does not render the snapshot total %d (%q missing from %q)",
+			total, wantLine, telErr.String())
+	}
+}
+
+// metricValue extracts a numeric metric from a decoded snapshot, where
+// JSON numbers arrive as float64.
+func metricValue(t *testing.T, snapshot map[string]any, name string) uint64 {
+	t.Helper()
+	if snapshot == nil {
+		t.Fatal("journal has no snapshot metrics")
+	}
+	v, ok := snapshot[name]
+	if !ok {
+		t.Fatalf("snapshot is missing %s (have %d metrics)", name, len(snapshot))
+	}
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("%s = %T(%v), want number", name, v, v)
+	}
+	return uint64(f)
+}
+
+// TestTimingWithoutProgressPrintsCacheStats locks the -timing contract:
+// cache statistics appear even when no progress writer exists, and also
+// on runs where no monitor is constructed at all paths that report
+// timing.
+func TestTimingWithoutProgressPrintsCacheStats(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-scale", "tiny", "-records", "2000", "-apps", "mysql",
+		"-only", "table1", "-timing", "-no-cache",
+	}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("baseline cache:")) {
+		t.Fatalf("-timing did not print baseline cache stats: %q", stderr.String())
+	}
+}
+
+// TestDebugAddrServesMetrics starts a run with -debug-addr on an
+// ephemeral port; the deferred server teardown and registry restore
+// must leave the process clean, and the flag must not perturb stdout.
+func TestDebugAddrServesMetrics(t *testing.T) {
+	var plainOut, e1 bytes.Buffer
+	base := []string{
+		"-scale", "tiny", "-records", "2000", "-apps", "mysql",
+		"-only", "table1,fig6", "-no-cache",
+	}
+	if code := run(base, &plainOut, &e1); code != 0 {
+		t.Fatalf("plain run exit %d: %s", code, e1.String())
+	}
+	var debugOut, e2 bytes.Buffer
+	if code := run(append([]string{"-debug-addr", "127.0.0.1:0"}, base...), &debugOut, &e2); code != 0 {
+		t.Fatalf("debug run exit %d: %s", code, e2.String())
+	}
+	if !bytes.Contains(e2.Bytes(), []byte("debug endpoint: http://")) {
+		t.Fatalf("no endpoint announcement on stderr: %q", e2.String())
+	}
+	plain := completedRe.ReplaceAllString(plainOut.String(), "completed in X]")
+	debug := completedRe.ReplaceAllString(debugOut.String(), "completed in X]")
+	if plain != debug {
+		t.Fatalf("stdout changed with -debug-addr:\n--- plain\n%s\n--- debug\n%s", plain, debug)
+	}
+}

@@ -1,0 +1,50 @@
+// Command journalcheck validates a JSONL run journal produced by
+// `experiments -journal` (or any telemetry.Journal writer):
+//
+//	journalcheck run.jsonl
+//
+// It checks the structural contract — a manifest first, unit events with
+// labels, exactly one final snapshot carrying a metrics map, nothing
+// after it, and a schema version this build understands — and reports
+// the unit-event count on success. CI runs it over the journal of a tiny
+// golden sweep so the format cannot drift silently.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/whisper-sim/whisper/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run validates each journal file argument; any invalid file fails the
+// whole invocation.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: journalcheck FILE...")
+		return 2
+	}
+	code := 0
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "journalcheck: %v\n", err)
+			code = 1
+			continue
+		}
+		units, err := telemetry.ValidateJournal(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "journalcheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: ok (%d unit events)\n", path, units)
+	}
+	return code
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/whisper-sim/whisper/internal/telemetry"
+)
+
+// writeJournal builds a minimal valid journal on disk.
+func writeJournal(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := telemetry.NewJournal(f)
+	j.WriteManifest(telemetry.Manifest{Tool: "test"})
+	j.WriteUnit("u0", time.Millisecond, 100)
+	j.WriteUnit("u1", time.Millisecond, 200)
+	j.WriteSnapshot(nil)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeJournal(t, path)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ok (2 unit events)") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+func TestRunInvalidJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"type\":\"unit\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), path) {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+func TestRunUsageAndMissingFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "absent")}, &out, &errb); code != 1 {
+		t.Fatal("missing file should exit 1")
+	}
+}

@@ -15,6 +15,11 @@
 // With -trace the tool additionally writes the application's branch trace
 // in the compact binary format (a stand-in for a decoded Intel PT file).
 // With -hints (or apply -dump) it dumps the trained brhint program.
+//
+// Every subcommand accepts -debug-addr ADDR, which enables the process
+// telemetry registry and serves /metrics (Prometheus text), /debug/vars
+// (expvar) and /debug/pprof on that address for the duration of the run;
+// see docs/observability.md.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"github.com/whisper-sim/whisper/internal/profiler"
 	"github.com/whisper-sim/whisper/internal/sim"
 	"github.com/whisper-sim/whisper/internal/store"
+	"github.com/whisper-sim/whisper/internal/telemetry"
 	"github.com/whisper-sim/whisper/internal/trace"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
@@ -55,6 +61,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return cmdOneShot(args, stdout, stderr)
 }
 
+// debugServer enables the process telemetry registry and serves
+// /metrics, /debug/vars and /debug/pprof on addr for the duration of a
+// subcommand. An empty addr is a no-op. The returned stop function is
+// always safe to defer; ok is false when the listener could not bind.
+func debugServer(addr string, stderr io.Writer) (stop func(), ok bool) {
+	if addr == "" {
+		return func() {}, true
+	}
+	telemetry.Enable()
+	srv, err := telemetry.ServeDebug(addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "debug endpoint: %v\n", err)
+		return func() {}, false
+	}
+	fmt.Fprintf(stderr, "debug endpoint: http://%s/metrics\n", srv.Addr())
+	return func() { srv.Close() }, true
+}
+
 // lookupApp resolves an application name, reporting failures on stderr.
 func lookupApp(name string, stderr io.Writer) *workload.App {
 	app := workload.DataCenterApp(name)
@@ -72,6 +96,7 @@ func cmdProfile(args []string, stdout, stderr io.Writer) int {
 	inputFlag := fs.Int("input", 0, "training input")
 	recordsFlag := fs.Int("records", 400000, "records per window")
 	outFlag := fs.String("o", "", "output artifact file (required)")
+	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,6 +104,11 @@ func cmdProfile(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "whisper profile: -app and -o are required")
 		return 2
 	}
+	stop, ok := debugServer(*debugFlag, stderr)
+	if !ok {
+		return 2
+	}
+	defer stop()
 	app := lookupApp(*appFlag, stderr)
 	if app == nil {
 		return 2
@@ -114,6 +144,7 @@ func cmdTrain(args []string, stdout, stderr io.Writer) int {
 	profFlag := fs.String("profile", "", "input profile artifact (required)")
 	outFlag := fs.String("o", "", "output hint artifact (required)")
 	exploreFlag := fs.Float64("explore", 0.05, "fraction of formulas explored (>=1 is exhaustive)")
+	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -121,6 +152,11 @@ func cmdTrain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "whisper train: -profile and -o are required")
 		return 2
 	}
+	stop, ok := debugServer(*debugFlag, stderr)
+	if !ok {
+		return 2
+	}
+	defer stop()
 	art, err := store.ReadFile(*profFlag)
 	if err != nil {
 		fmt.Fprintf(stderr, "train: reading %s: %v\n", *profFlag, err)
@@ -160,6 +196,7 @@ func cmdApply(args []string, stdout, stderr io.Writer) int {
 	testFlag := fs.Int("test-input", 1, "evaluation input")
 	warmFlag := fs.Float64("warmup", 0.3, "warm-up fraction of the measured window")
 	dumpFlag := fs.Bool("dump", false, "dump the injected brhint program")
+	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -167,6 +204,11 @@ func cmdApply(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "whisper apply: -hints is required")
 		return 2
 	}
+	stop, ok := debugServer(*debugFlag, stderr)
+	if !ok {
+		return 2
+	}
+	defer stop()
 	art, err := store.ReadFile(*hintsFlag)
 	if err != nil {
 		fmt.Fprintf(stderr, "apply: reading %s: %v\n", *hintsFlag, err)
@@ -206,9 +248,15 @@ func cmdOneShot(args []string, stdout, stderr io.Writer) int {
 	fromTraceFlag := fs.String("from-trace", "", "simulate the baseline over a previously exported trace file and exit")
 	hintsFlag := fs.Bool("hints", false, "dump the injected brhint program")
 	warmFlag := fs.Float64("warmup", 0.3, "warm-up fraction of the measured window")
+	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stop, ok := debugServer(*debugFlag, stderr)
+	if !ok {
+		return 2
+	}
+	defer stop()
 
 	if *fromTraceFlag != "" {
 		if err := simulateTrace(stdout, *fromTraceFlag, *warmFlag); err != nil {

@@ -28,6 +28,7 @@ package classify
 
 import (
 	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/telemetry"
 	"github.com/whisper-sim/whisper/internal/trace"
 )
 
@@ -275,7 +276,40 @@ func (c *Classifier) Run(s trace.Stream, pred bpu.Predictor) Counts {
 		}
 		hist.Push(rec.Taken)
 	}
+	counts.emitTelemetry()
 	return counts
+}
+
+// emitTelemetry flushes the classified window's per-cause breakdown into
+// the process registry — the paper's Fig 3 attribution (capacity vs.
+// history-length causes) as live whisper_classify_* series.
+func (c *Counts) emitTelemetry() {
+	r := telemetry.Default()
+	if r == nil {
+		return
+	}
+	r.Counter("whisper_classify_windows_total").Inc()
+	for cl := Compulsory; cl < numClasses; cl++ {
+		r.Counter(`whisper_classify_mispredictions_total{class="` + classLabel(cl) + `"}`).
+			Add(c.ByClass[cl])
+	}
+}
+
+// classLabel is the stable lower-case metric label of a class (the
+// String form is the paper's legend and carries spaces/hyphens).
+func classLabel(cl Class) string {
+	switch cl {
+	case Compulsory:
+		return "compulsory"
+	case Capacity:
+		return "capacity"
+	case Conflict:
+		return "conflict"
+	case DataDependent:
+		return "data_dependent"
+	default:
+		return "unknown"
+	}
 }
 
 // classify attributes a misprediction of a known branch.

@@ -28,6 +28,7 @@ import (
 	"github.com/whisper-sim/whisper/internal/formula"
 	"github.com/whisper-sim/whisper/internal/hint"
 	"github.com/whisper-sim/whisper/internal/profiler"
+	"github.com/whisper-sim/whisper/internal/telemetry"
 	"github.com/whisper-sim/whisper/internal/xrand"
 )
 
@@ -327,6 +328,8 @@ func findBooleanFormulaExhaustive(T, NT *[256]uint32, evals *uint64) (formula.Fo
 // Train learns Whisper hints from a profile collected with the same
 // geometric length series (profiler defaults).
 func Train(p *profiler.Profile, params Params) (*TrainResult, error) {
+	sp := telemetry.StartSpan("train")
+	defer sp.End()
 	lengths := params.Lengths()
 	if len(p.Lengths) < len(lengths) {
 		return nil, fmt.Errorf("core: profile has %d lengths, params need %d", len(p.Lengths), len(lengths))
@@ -411,6 +414,12 @@ func Train(p *profiler.Profile, params Params) (*TrainResult, error) {
 		}
 	}
 	res.Duration = time.Since(start)
+	if r := telemetry.Default(); r != nil {
+		r.Counter("whisper_train_runs_total").Inc()
+		r.Counter("whisper_train_branches_total").Add(uint64(res.Trained))
+		r.Counter("whisper_train_hints_total").Add(uint64(len(res.Hints)))
+		r.Counter("whisper_train_formula_evals_total").Add(res.FormulaEvals)
+	}
 	return res, nil
 }
 

@@ -20,6 +20,7 @@ package pipeline
 import (
 	"github.com/whisper-sim/whisper/internal/bpu"
 	"github.com/whisper-sim/whisper/internal/frontend"
+	"github.com/whisper-sim/whisper/internal/telemetry"
 	"github.com/whisper-sim/whisper/internal/trace"
 )
 
@@ -105,6 +106,8 @@ type Options struct {
 
 // Run drives pred over the stream and returns the accounting.
 func Run(s trace.Stream, pred bpu.Predictor, opt Options) Result {
+	sp := telemetry.StartSpan("simulate")
+	defer sp.End()
 	cfg := opt.Config
 	if cfg.Width <= 0 {
 		cfg = DefaultConfig()
@@ -180,7 +183,28 @@ func Run(s trace.Stream, pred bpu.Predictor, opt Options) Result {
 	}
 	res.Frontend = subStats(fe.Stats, feAtMeasure)
 	res.Cycles = res.BaseCycles + res.SquashCycles + res.FrontendCycles
+	res.emitTelemetry()
 	return res
+}
+
+// emitTelemetry flushes the run's accounting into the process registry.
+// The hot per-record loop accumulates locally; the registry sees one
+// batched update per completed run, so enabling telemetry costs a few
+// counter adds per simulation unit, not per record.
+func (res *Result) emitTelemetry() {
+	r := telemetry.Default()
+	if r == nil {
+		return
+	}
+	r.Counter("whisper_sim_runs_total").Inc()
+	r.Counter("whisper_sim_instructions_total").Add(res.Instrs)
+	r.Counter("whisper_sim_records_total").Add(res.Records)
+	r.Counter("whisper_sim_cond_execs_total").Add(res.CondExecs)
+	r.Counter("whisper_sim_cond_mispredictions_total").Add(res.CondMisp)
+	r.Counter("whisper_sim_cycles_total").Add(res.Cycles)
+	r.Counter("whisper_sim_squash_cycles_total").Add(res.SquashCycles)
+	r.Counter("whisper_sim_frontend_cycles_total").Add(res.FrontendCycles)
+	r.Histogram("whisper_sim_run_instructions").Observe(res.Instrs)
 }
 
 // subStats subtracts the warm-up snapshot from the final frontend stats

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/telemetry"
 	"github.com/whisper-sim/whisper/internal/trace"
 )
 
@@ -119,6 +120,8 @@ func Collect(mkStream func() trace.Stream, pred bpu.Predictor, opt Options) (*Pr
 	if mkStream == nil || pred == nil {
 		return nil, fmt.Errorf("profiler: nil stream factory or predictor")
 	}
+	sp := telemetry.StartSpan("profile")
+	defer sp.End()
 	if opt.Lengths == nil {
 		opt.Lengths = bpu.DefaultGeomLengths
 	}

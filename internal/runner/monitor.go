@@ -7,7 +7,15 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/whisper-sim/whisper/internal/telemetry"
 )
+
+// renderInterval throttles progress repaints to ~10 Hz. At high -j with
+// tiny units, per-finish "\r\x1b[K" rewrites flood stderr with kilobytes
+// of escape codes per second; a terminal cannot show more states than
+// this anyway. The final unit always repaints so the line ends accurate.
+const renderInterval = 100 * time.Millisecond
 
 // UnitStat is one completed unit's accounting record.
 type UnitStat struct {
@@ -30,22 +38,64 @@ func (s UnitStat) MIPS() float64 {
 // Monitor aggregates unit telemetry across every driver sharing it and,
 // when given a writer, renders a live one-line progress/ETA display
 // (meant for stderr so tables on stdout stay clean).
+//
+// Its aggregate accounting lives in telemetry instruments rather than
+// bespoke fields; when the process registry is enabled the same cells
+// are registered as the whisper_runner_* series, so the -timing summary
+// and a /metrics scrape read one set of counters. Per-unit records (the
+// slowest-units report) and render state stay monitor-local.
 type Monitor struct {
-	mu       sync.Mutex
-	w        io.Writer
-	start    time.Time
-	total    int
-	done     int
-	workers  int
-	wall     time.Duration
-	instrs   uint64
-	units    []UnitStat
-	rendered bool
+	mu         sync.Mutex
+	w          io.Writer
+	start      time.Time
+	total      int
+	workers    int
+	units      []UnitStat
+	rendered   bool
+	lastRender time.Time
+	interval   time.Duration
+
+	done     *telemetry.Counter
+	instrs   *telemetry.Counter
+	wallNS   *telemetry.Counter
+	expected *telemetry.Gauge
+	inflight *telemetry.Gauge
+
+	journal *telemetry.Journal
 }
 
 // NewMonitor creates a monitor; w may be nil to collect timing without
-// rendering progress.
-func NewMonitor(w io.Writer) *Monitor { return &Monitor{w: w} }
+// rendering progress. If the process telemetry registry is enabled, the
+// monitor's instruments are (re-)registered as the whisper_runner_*
+// series — a fresh monitor therefore restarts those series, matching
+// the one-monitor-per-run lifecycle of the CLIs.
+func NewMonitor(w io.Writer) *Monitor {
+	m := &Monitor{
+		w:        w,
+		interval: renderInterval,
+		done:     telemetry.NewCounter(),
+		instrs:   telemetry.NewCounter(),
+		wallNS:   telemetry.NewCounter(),
+		expected: telemetry.NewGauge(),
+		inflight: telemetry.NewGauge(),
+	}
+	if r := telemetry.Default(); r != nil {
+		r.SetCounter("whisper_runner_units_completed_total", m.done)
+		r.SetCounter("whisper_runner_instructions_total", m.instrs)
+		r.SetCounter("whisper_runner_unit_wall_ns_total", m.wallNS)
+		r.SetGauge("whisper_runner_units_expected", m.expected)
+		r.SetGauge("whisper_runner_units_inflight", m.inflight)
+	}
+	return m
+}
+
+// AttachJournal routes one "unit" event per completed unit into j
+// (nil detaches). Attach before fanning out work.
+func (m *Monitor) AttachJournal(j *telemetry.Journal) {
+	m.mu.Lock()
+	m.journal = j
+	m.mu.Unlock()
+}
 
 // expect registers n more upcoming units (a pool calls this when a
 // driver fans out) and the widest worker count seen, used for the ETA.
@@ -56,40 +106,62 @@ func (m *Monitor) expect(n, workers int) {
 		m.start = time.Now()
 	}
 	m.total += n
+	m.expected.Set(int64(m.total))
 	if workers > m.workers {
 		m.workers = workers
 	}
 }
 
+// begin marks one unit as running (in-flight gauge for /metrics).
+func (m *Monitor) begin() { m.inflight.Add(1) }
+
 // finish records one completed unit and refreshes the progress line.
 func (m *Monitor) finish(u UnitStat) {
+	m.inflight.Add(-1)
+	m.done.Inc()
+	m.instrs.Add(u.Instrs)
+	m.wallNS.Add(uint64(u.Wall))
+
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.done++
-	m.wall += u.Wall
-	m.instrs += u.Instrs
+	journal := m.journal
 	m.units = append(m.units, u)
 	m.render()
+	m.mu.Unlock()
+
+	// Journal writes leave the monitor lock so slow sinks never stall
+	// progress rendering; the journal has its own lock.
+	if journal != nil {
+		journal.WriteUnit(u.Label, u.Wall, u.Instrs)
+	}
 }
 
-// render repaints the progress line; callers hold m.mu.
+// render repaints the progress line, throttled to the render interval;
+// suite completion (done == total) always repaints so the line ends
+// accurate. Callers hold m.mu.
 func (m *Monitor) render() {
 	if m.w == nil || m.total == 0 {
 		return
 	}
-	elapsed := time.Since(m.start)
-	line := fmt.Sprintf("[%d/%d units] %.0f%%", m.done, m.total,
-		100*float64(m.done)/float64(m.total))
-	if elapsed > 0 && m.instrs > 0 {
-		line += fmt.Sprintf(" | %.1f MIPS", float64(m.instrs)/elapsed.Seconds()/1e6)
+	done := int(m.done.Value())
+	now := time.Now()
+	if done < m.total && now.Sub(m.lastRender) < m.interval {
+		return
 	}
-	if m.done > 0 && m.done < m.total {
+	m.lastRender = now
+	elapsed := time.Since(m.start)
+	instrs := m.instrs.Value()
+	line := fmt.Sprintf("[%d/%d units] %.0f%%", done, m.total,
+		100*float64(done)/float64(m.total))
+	if elapsed > 0 && instrs > 0 {
+		line += fmt.Sprintf(" | %.1f MIPS", float64(instrs)/elapsed.Seconds()/1e6)
+	}
+	if done > 0 && done < m.total {
 		workers := m.workers
 		if workers < 1 {
 			workers = 1
 		}
-		avg := m.wall / time.Duration(m.done)
-		eta := avg * time.Duration(m.total-m.done) / time.Duration(workers)
+		avg := time.Duration(m.wallNS.Value()) / time.Duration(done)
+		eta := avg * time.Duration(m.total-done) / time.Duration(workers)
 		line += fmt.Sprintf(" | eta %s", eta.Round(time.Second))
 	}
 	fmt.Fprintf(m.w, "\r\x1b[K%s", line)
@@ -109,8 +181,9 @@ func (m *Monitor) Done() {
 // Snapshot returns the aggregate counts collected so far.
 func (m *Monitor) Snapshot() (done, total int, instrs uint64, wall time.Duration) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.done, m.total, m.instrs, m.wall
+	total = m.total
+	m.mu.Unlock()
+	return int(m.done.Value()), total, m.instrs.Value(), time.Duration(m.wallNS.Value())
 }
 
 // Summary renders the timing report: aggregate throughput, effective
@@ -120,14 +193,17 @@ func (m *Monitor) Summary() string {
 	defer m.mu.Unlock()
 	var b strings.Builder
 	elapsed := time.Since(m.start)
-	if m.done == 0 || elapsed <= 0 {
+	done := int(m.done.Value())
+	if done == 0 || elapsed <= 0 {
 		return "runner: no units executed"
 	}
+	wall := time.Duration(m.wallNS.Value())
+	instrs := m.instrs.Value()
 	fmt.Fprintf(&b, "runner: %d units in %s (unit wall %s, %.1fx effective concurrency)\n",
-		m.done, elapsed.Round(time.Millisecond), m.wall.Round(time.Millisecond),
-		m.wall.Seconds()/elapsed.Seconds())
+		done, elapsed.Round(time.Millisecond), wall.Round(time.Millisecond),
+		wall.Seconds()/elapsed.Seconds())
 	fmt.Fprintf(&b, "runner: %.1fM instructions simulated, %.1f MIPS effective\n",
-		float64(m.instrs)/1e6, float64(m.instrs)/elapsed.Seconds()/1e6)
+		float64(instrs)/1e6, float64(instrs)/elapsed.Seconds()/1e6)
 	slowest := append([]UnitStat(nil), m.units...)
 	sort.SliceStable(slowest, func(i, j int) bool { return slowest[i].Wall > slowest[j].Wall })
 	if len(slowest) > 5 {

@@ -1,0 +1,153 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/whisper-sim/whisper/internal/telemetry"
+)
+
+func TestMonitorConcurrentFinishSnapshot(t *testing.T) {
+	m := NewMonitor(nil)
+	const goroutines, per = 8, 200
+	m.expect(goroutines*per, goroutines)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Hammer Snapshot and Summary while finishes race in (run under
+	// -race in CI).
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Snapshot()
+				m.Summary()
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.finish(UnitStat{Label: fmt.Sprintf("g%d/u%d", g, i), Wall: time.Microsecond, Instrs: 10})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	done, total, instrs, wall := m.Snapshot()
+	if done != goroutines*per || total != goroutines*per {
+		t.Fatalf("done/total = %d/%d, want %d/%d", done, total, goroutines*per, goroutines*per)
+	}
+	if instrs != goroutines*per*10 {
+		t.Fatalf("instrs = %d, want %d", instrs, goroutines*per*10)
+	}
+	if wall != goroutines*per*time.Microsecond {
+		t.Fatalf("wall = %v", wall)
+	}
+}
+
+func TestMonitorETAWithZeroWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMonitor(&buf)
+	// workers < 1 must not divide by zero in the ETA math; the render
+	// clamps to one worker.
+	m.expect(4, 0)
+	m.finish(UnitStat{Label: "a", Wall: 10 * time.Millisecond, Instrs: 100})
+	out := buf.String()
+	if !strings.Contains(out, "[1/4 units]") {
+		t.Fatalf("progress line missing: %q", out)
+	}
+	if !strings.Contains(out, "eta") {
+		t.Fatalf("expected an eta with done in (0,total): %q", out)
+	}
+}
+
+func TestMonitorSummaryNoUnits(t *testing.T) {
+	m := NewMonitor(nil)
+	if got := m.Summary(); got != "runner: no units executed" {
+		t.Fatalf("empty summary = %q", got)
+	}
+	// Same after expectations with no completions.
+	m.expect(3, 2)
+	if got := m.Summary(); got != "runner: no units executed" {
+		t.Fatalf("expected-but-idle summary = %q", got)
+	}
+}
+
+func TestMonitorThrottlesRepaints(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMonitor(&buf)
+	const n = 200
+	m.expect(n, 4)
+	for i := 0; i < n; i++ {
+		m.finish(UnitStat{Label: "u", Wall: time.Microsecond, Instrs: 1})
+	}
+	repaints := strings.Count(buf.String(), "\r\x1b[K")
+	// The first finish paints (interval elapsed since the zero time) and
+	// the final one always paints; a fast loop must coalesce the rest.
+	if repaints >= n/2 {
+		t.Fatalf("%d repaints for %d finishes — throttle not applied", repaints, n)
+	}
+	if repaints < 1 {
+		t.Fatal("no repaint at all")
+	}
+	if !strings.Contains(buf.String(), fmt.Sprintf("[%d/%d units]", n, n)) {
+		t.Fatalf("final state never painted: %q", buf.String())
+	}
+}
+
+func TestMonitorRegistersRunnerSeries(t *testing.T) {
+	prev := telemetry.Default()
+	reg := telemetry.Install(telemetry.NewRegistry())
+	defer telemetry.Install(prev)
+
+	m := NewMonitor(nil)
+	m.expect(2, 2)
+	m.finish(UnitStat{Label: "a", Wall: time.Millisecond, Instrs: 500})
+	if got := reg.Counter("whisper_runner_units_completed_total").Value(); got != 1 {
+		t.Fatalf("registry units = %d, want 1", got)
+	}
+	if got := reg.Counter("whisper_runner_instructions_total").Value(); got != 500 {
+		t.Fatalf("registry instrs = %d, want 500", got)
+	}
+	if got := reg.Gauge("whisper_runner_units_expected").Value(); got != 2 {
+		t.Fatalf("registry expected = %d, want 2", got)
+	}
+	// A fresh monitor restarts the series (one-monitor-per-run CLIs).
+	NewMonitor(nil)
+	if got := reg.Counter("whisper_runner_units_completed_total").Value(); got != 0 {
+		t.Fatalf("fresh monitor did not restart series: %d", got)
+	}
+}
+
+func TestMonitorJournalUnitEvents(t *testing.T) {
+	var buf bytes.Buffer
+	j := telemetry.NewJournal(&buf)
+	j.WriteManifest(telemetry.Manifest{Tool: "test"})
+	m := NewMonitor(nil)
+	m.AttachJournal(j)
+	p := &Pool{Workers: 4, Monitor: m}
+	err := p.Run(10, func(i int, u *Unit) error {
+		u.Label = fmt.Sprintf("unit%d", i)
+		u.AddInstrs(100)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.WriteSnapshot(nil)
+	units, err := telemetry.ValidateJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("journal invalid: %v\n%s", err, buf.String())
+	}
+	if units != 10 {
+		t.Fatalf("journal units = %d, want 10", units)
+	}
+}

@@ -97,6 +97,9 @@ func (p *Pool) Run(n int, fn func(i int, u *Unit) error) error {
 // runUnit times one unit and reports it to the monitor.
 func (p *Pool) runUnit(i int, fn func(int, *Unit) error) error {
 	u := &Unit{Index: i}
+	if p.Monitor != nil {
+		p.Monitor.begin()
+	}
 	start := time.Now()
 	err := fn(i, u)
 	if p.Monitor != nil {

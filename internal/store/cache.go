@@ -11,6 +11,7 @@ import (
 
 	"github.com/whisper-sim/whisper/internal/core"
 	"github.com/whisper-sim/whisper/internal/profiler"
+	"github.com/whisper-sim/whisper/internal/telemetry"
 )
 
 // Cache is a content-addressed artifact directory: one file per cache
@@ -70,11 +71,14 @@ func (c *Cache) path(kind, key string) string {
 
 // load reads the artifact stored under key, or nil on any miss.
 func (c *Cache) load(kind, key string) *Artifact {
+	sp := telemetry.StartSpan("cache.read")
+	defer sp.End()
 	p := c.path(kind, key)
 	a, err := ReadFile(p)
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
 			c.rejected.Add(1)
+			counter("whisper_store_cache_rejected_total").Inc()
 			// Future-version entries belong to a newer tool and are
 			// left in place; anything else is damage, and removing it
 			// lets the regenerated artifact take the slot cleanly.
@@ -87,23 +91,47 @@ func (c *Cache) load(kind, key string) *Artifact {
 	if a.Meta.Key != key {
 		return nil
 	}
+	if r := telemetry.Default(); r != nil {
+		if st, err := os.Stat(p); err == nil {
+			r.Counter("whisper_store_cache_read_bytes_total").Add(uint64(st.Size()))
+		}
+	}
 	return a
 }
 
 // save writes an artifact under key; failures are returned but callers
 // may ignore them (a cache that cannot persist still computes).
 func (c *Cache) save(kind, key string, a *Artifact) error {
+	sp := telemetry.StartSpan("cache.write")
+	defer sp.End()
 	a.Meta.Key = key
-	return WriteFile(c.path(kind, key), a)
+	p := c.path(kind, key)
+	if err := WriteFile(p, a); err != nil {
+		return err
+	}
+	if r := telemetry.Default(); r != nil {
+		if st, err := os.Stat(p); err == nil {
+			r.Counter("whisper_store_cache_write_bytes_total").Add(uint64(st.Size()))
+		}
+	}
+	return nil
+}
+
+// counter resolves a registry counter when telemetry is enabled; while
+// disabled the nil result is a no-op sink.
+func counter(name string) *telemetry.Counter {
+	return telemetry.Default().Counter(name)
 }
 
 // LoadProfile returns the profile cached under key, if present and intact.
 func (c *Cache) LoadProfile(key string) (*profiler.Profile, bool) {
 	if a := c.load("profile", key); a != nil && a.Profile != nil {
 		c.profileHits.Add(1)
+		counter("whisper_store_cache_hits_total").Inc()
 		return a.Profile, true
 	}
 	c.profileMisses.Add(1)
+	counter("whisper_store_cache_misses_total").Inc()
 	return nil, false
 }
 
@@ -116,9 +144,11 @@ func (c *Cache) SaveProfile(key string, meta Meta, p *profiler.Profile) error {
 func (c *Cache) LoadTrain(key string) (*core.TrainResult, bool) {
 	if a := c.load("train", key); a != nil && a.Train != nil {
 		c.trainHits.Add(1)
+		counter("whisper_store_cache_hits_total").Inc()
 		return a.Train, true
 	}
 	c.trainMisses.Add(1)
+	counter("whisper_store_cache_misses_total").Inc()
 	return nil, false
 }
 

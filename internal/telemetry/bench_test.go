@@ -1,0 +1,67 @@
+package telemetry
+
+import "testing"
+
+// The Disabled benchmarks pin the zero-overhead-when-off contract: CI's
+// benchmark-smoke step asserts every one of them reports 0 B/op. They
+// run with telemetry uninstalled (the package-level default), exercising
+// the exact guard pattern the instrumented packages use.
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	prev := Default()
+	Install(nil)
+	defer Install(prev)
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkRegistryGuardDisabled(b *testing.B) {
+	prev := Default()
+	Install(nil)
+	defer Install(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := Default(); r != nil {
+			r.Counter("whisper_bench_total").Inc()
+		}
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	prev := Default()
+	Install(nil)
+	defer Install(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartSpan("simulate").End()
+	}
+}
+
+func BenchmarkCounterAddEnabled(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkCounterLookupEnabled(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("whisper_bench_total").Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}

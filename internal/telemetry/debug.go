@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is the live-inspection endpoint for long sweeps:
+//
+//	/metrics       Prometheus text exposition of the default registry
+//	/debug/vars    expvar JSON (includes the registry under "whisper")
+//	/debug/pprof/  the standard pprof index (profile, heap, trace, ...)
+//
+// Handlers read Default() at request time, so a registry installed or
+// replaced after the server starts is what gets served.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug binds addr (":0" picks a free port) and serves the debug
+// endpoint in the background until Close.
+func ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("whisper", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *DebugServer) Close() error { return s.srv.Close() }

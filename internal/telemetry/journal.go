@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// JournalSchema is the run-journal line schema version, recorded in the
+// manifest so readers can reject files written by a newer tool.
+const JournalSchema = 1
+
+// Manifest is the journal's first line: everything needed to reproduce
+// or attribute the run.
+type Manifest struct {
+	// Tool names the producing command ("experiments", "whisper").
+	Tool string `json:"tool"`
+	// Go is runtime.Version() of the producing process.
+	Go string `json:"go"`
+	// GOMAXPROCS is the scheduler width of the producing process.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Workers is the requested -j value (0 = one per CPU).
+	Workers int `json:"workers"`
+	// Seed is the run's base RNG seed, when the tool has one (workload
+	// streams derive their seeds from (app, input), recorded in Config).
+	Seed int64 `json:"seed,omitempty"`
+	// Config carries the tool-specific configuration (scale, records,
+	// apps, selected experiments, cache mode, ...).
+	Config map[string]any `json:"config,omitempty"`
+}
+
+// journalLine is the on-disk shape of every journal record. Type is one
+// of "manifest", "unit", "snapshot".
+type journalLine struct {
+	Type     string    `json:"type"`
+	Schema   int       `json:"schema,omitempty"`
+	Manifest *Manifest `json:"manifest,omitempty"`
+	Label    string    `json:"label,omitempty"`
+	WallNS   int64     `json:"wall_ns,omitempty"`
+	Instrs   uint64    `json:"instrs,omitempty"`
+	// Metrics is a pointer so an empty-but-present snapshot still
+	// serializes as {} (omitempty would drop an empty map).
+	Metrics *map[string]any `json:"metrics,omitempty"`
+}
+
+// Journal writes the structured JSONL run log: one manifest line, one
+// line per completed unit, and a final aggregate snapshot. It is safe
+// for concurrent writers (units finish on pool goroutines); the first
+// write error sticks and suppresses the rest, surfaced by Err.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJournal wraps w (typically an *os.File; the caller closes it).
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// write marshals one line. A nil *Journal is a no-op sink.
+func (j *Journal) write(line *journalLine) {
+	if j == nil {
+		return
+	}
+	data, err := json.Marshal(line)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err == nil {
+		data = append(data, '\n')
+		_, err = j.w.Write(data)
+	}
+	j.err = err
+}
+
+// WriteManifest records the run manifest; call it once, first.
+func (j *Journal) WriteManifest(m Manifest) {
+	j.write(&journalLine{Type: "manifest", Schema: JournalSchema, Manifest: &m})
+}
+
+// WriteUnit records one completed unit of work.
+func (j *Journal) WriteUnit(label string, wall time.Duration, instrs uint64) {
+	j.write(&journalLine{Type: "unit", Label: label, WallNS: int64(wall), Instrs: instrs})
+}
+
+// WriteSnapshot records the final aggregate state of r; call it once,
+// last, after all units have finished.
+func (j *Journal) WriteSnapshot(r *Registry) {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = map[string]any{}
+	}
+	j.write(&journalLine{Type: "snapshot", Metrics: &snap})
+}
+
+// Err reports the first write or encoding failure, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ValidateJournal checks a journal stream against the schema: exactly
+// one manifest (first, schema <= current), zero or more unit events
+// (non-empty label, non-negative wall time), and exactly one snapshot
+// (last, with metrics). It returns the number of unit events.
+func ValidateJournal(r io.Reader) (units int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	sawSnapshot := false
+	for sc.Scan() {
+		n++
+		if len(sc.Bytes()) == 0 {
+			return units, fmt.Errorf("journal line %d: empty", n)
+		}
+		var line journalLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return units, fmt.Errorf("journal line %d: %v", n, err)
+		}
+		if sawSnapshot {
+			return units, fmt.Errorf("journal line %d: content after snapshot", n)
+		}
+		switch line.Type {
+		case "manifest":
+			if n != 1 {
+				return units, fmt.Errorf("journal line %d: manifest must be the first line", n)
+			}
+			if line.Schema <= 0 || line.Schema > JournalSchema {
+				return units, fmt.Errorf("journal line %d: schema %d, reader supports <= %d",
+					n, line.Schema, JournalSchema)
+			}
+			if line.Manifest == nil {
+				return units, fmt.Errorf("journal line %d: manifest without body", n)
+			}
+		case "unit":
+			if n == 1 {
+				return units, fmt.Errorf("journal line 1: expected manifest, got unit")
+			}
+			if line.Label == "" {
+				return units, fmt.Errorf("journal line %d: unit without label", n)
+			}
+			if line.WallNS < 0 {
+				return units, fmt.Errorf("journal line %d: negative wall_ns", n)
+			}
+			units++
+		case "snapshot":
+			if n == 1 {
+				return units, fmt.Errorf("journal line 1: expected manifest, got snapshot")
+			}
+			if line.Metrics == nil {
+				return units, fmt.Errorf("journal line %d: snapshot without metrics", n)
+			}
+			sawSnapshot = true
+		default:
+			return units, fmt.Errorf("journal line %d: unknown type %q", n, line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return units, err
+	}
+	if n == 0 {
+		return units, fmt.Errorf("journal: empty file")
+	}
+	if !sawSnapshot {
+		return units, fmt.Errorf("journal: missing final snapshot line")
+	}
+	return units, nil
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of instruments. Lookups get-or-create,
+// so instrumented packages never coordinate registration; the name is
+// the coordination point. Names follow the Prometheus convention and may
+// carry a fixed label set in braces, e.g.
+//
+//	whisper_sim_instructions_total
+//	whisper_classify_mispredictions_total{class="capacity"}
+//
+// Metric families (the name before '{') must not mix instrument kinds.
+// Lookups on a nil *Registry return nil instruments, which are no-op
+// sinks, so callers holding a maybe-nil registry never branch.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = NewCounter()
+		r.counters[name] = c
+	}
+	return c
+}
+
+// SetCounter registers (or replaces) an externally owned counter under
+// name. runner.Monitor uses this so the monitor's own live accounting
+// and the exported whisper_runner_* series are one set of cells, not two
+// bookkeeping copies.
+func (r *Registry) SetCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] = c
+	r.mu.Unlock()
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = NewGauge()
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// SetGauge registers (or replaces) an externally owned gauge under name.
+func (r *Registry) SetGauge(name string, g *Gauge) {
+	if r == nil || g == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// Histogram returns the named dimensionless histogram, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.histogram(name, 1)
+}
+
+// DurationHistogram returns the named histogram for nanosecond
+// observations, rendered in seconds.
+func (r *Registry) DurationHistogram(name string) *Histogram {
+	return r.histogram(name, 1e-9)
+}
+
+func (r *Registry) histogram(name string, scale float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{scale: scale}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every instrument's current value keyed by metric
+// name: counters and gauges as numbers, histograms as
+// {"count": n, "sum": scaledSum}. The journal's final line and the
+// expvar endpoint both serve this map.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		snap[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		snap[name] = map[string]any{"count": h.Count(), "sum": h.ScaledSum()}
+	}
+	return snap
+}
+
+// family splits a metric name into its family (the part before '{') and
+// the fixed label set (without braces, "" when unlabeled).
+func family(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// withLabel renders fam plus the union of labels and extra ("" to omit).
+func withLabel(fam, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return fam
+	case labels == "":
+		return fam + "{" + extra + "}"
+	case extra == "":
+		return fam + "{" + labels + "}"
+	default:
+		return fam + "{" + labels + "," + extra + "}"
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, sorted by name so scrapes (and tests) are deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	// Copy the maps under the read lock; values render lock-free (the
+	// instruments themselves are atomic).
+	r.mu.RLock()
+	counters := copyMap(r.counters)
+	gauges := copyMap(r.gauges)
+	hists := copyMap(r.hists)
+	r.mu.RUnlock()
+
+	typed := map[string]bool{}
+	emitType := func(fam, kind string) {
+		if !typed[fam] {
+			fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind)
+			typed[fam] = true
+		}
+	}
+	for _, name := range sortedKeys(counters) {
+		fam, _ := family(name)
+		emitType(fam, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		fam, _ := family(name)
+		emitType(fam, "gauge")
+		fmt.Fprintf(w, "%s %d\n", name, gauges[name].Value())
+	}
+	for _, name := range sortedKeys(hists) {
+		fam, labels := family(name)
+		emitType(fam, "histogram")
+		h := hists[name]
+		var cum uint64
+		for i := 0; i < numBuckets; i++ {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			cum += n
+			le := fmt.Sprintf("le=%q", fmt.Sprintf("%g", h.upperBound(i)))
+			fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_bucket", labels, le), cum)
+		}
+		fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_bucket", labels, `le="+Inf"`), cum)
+		fmt.Fprintf(w, "%s %g\n", withLabel(fam+"_sum", labels, ""), h.ScaledSum())
+		fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_count", labels, ""), cum)
+	}
+}
+
+func copyMap[V any](m map[string]V) map[string]V {
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,44 @@
+package telemetry
+
+import "time"
+
+// PhaseSeconds is the metric family recording span durations, labeled
+// by phase.
+const PhaseSeconds = "whisper_phase_duration_seconds"
+
+// Span times one named phase of the pipeline. It is a value type so
+// starting and ending a span never allocates; the zero Span (returned
+// while telemetry is disabled) is inert.
+//
+//	sp := telemetry.StartSpan("train")
+//	defer sp.End()
+//
+// Each End observes the span's wall time into the phase's duration
+// histogram, so /metrics exposes count, sum, and a log-bucketed
+// distribution per phase.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing phase ("profile", "train", "simulate",
+// "cache.read", "cache.write", ...). While telemetry is disabled it
+// returns an inert span without reading the clock.
+func StartSpan(phase string) Span {
+	r := Default()
+	if r == nil {
+		return Span{}
+	}
+	return Span{
+		h:     r.DurationHistogram(PhaseSeconds + `{phase="` + phase + `"}`),
+		start: time.Now(),
+	}
+}
+
+// End records the span's duration; safe on the zero Span.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(uint64(time.Since(s.start)))
+}
