@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/benchio"
+)
+
+// TestSmokeRun drives the full CLI in-process at a tiny scale: the
+// matrix runs, the table prints, and the report file validates.
+func TestSmokeRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-smoke", "-records", "3000", "-reps", "1", "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	r, err := benchio.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Smoke || len(r.Results) != len(smokeApps)*len(smokePredictors) {
+		t.Fatalf("unexpected report: smoke=%v results=%d", r.Smoke, len(r.Results))
+	}
+	for _, cell := range r.Results {
+		if !strings.Contains(stdout.String(), cell.Predictor) {
+			t.Errorf("stdout missing row for %s", cell.Predictor)
+		}
+	}
+}
+
+// TestValidateMode checks "-validate FILE" accepts a report the tool
+// just wrote and rejects a damaged one without running any benchmark.
+func TestValidateMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_v.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-smoke", "-records", "2000", "-reps", "1",
+		"-predictors", "bimodal", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("bench run: exit %d: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-validate", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("validate: exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "valid") {
+		t.Fatalf("validate output: %s", stdout.String())
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":1,"name":""}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-validate", bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad report: exit %d", code)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-predictors", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown predictor: exit %d", code)
+	}
+	if code := run([]string{"-apps", "nope", "-records", "10", "-reps", "1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown app: exit %d", code)
+	}
+	if code := run([]string{"-records", "0"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("zero records: exit %d", code)
+	}
+}
+
+// TestNoFileDash checks "-o -" suppresses the report file but still
+// validates the in-memory report.
+func TestNoFileDash(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-smoke", "-records", "2000", "-reps", "1",
+		"-predictors", "bimodal", "-o", "-"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "report:") {
+		t.Fatalf("report file written despite -o -: %s", stdout.String())
+	}
+}

@@ -53,3 +53,38 @@ func TestGoldenTinyTables(t *testing.T) {
 			golden, got, want)
 	}
 }
+
+// TestGoldenBlockSizeInvariance locks the tentpole's correctness claim
+// end to end: the full CLI's stdout is byte-identical whether the
+// pipeline runs the scalar reference loop (-block -1), degenerate
+// one-record blocks, an odd block size, or the batched default, at any
+// -j. The scalar run is the reference; everything else must match it.
+func TestGoldenBlockSizeInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine CLI comparison is not a -short test")
+	}
+	runWith := func(block string, j string) string {
+		var stdout, stderr bytes.Buffer
+		args := []string{
+			"-scale", "tiny", "-records", "3000", "-apps", "mysql,kafka",
+			"-only", "table1,fig6", "-no-cache",
+			"-block", block, "-j", j,
+		}
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("-block %s -j %s: exit %d: %s", block, j, code, stderr.String())
+		}
+		return completedRe.ReplaceAllString(stdout.String(), "completed in X]")
+	}
+	want := runWith("-1", "1") // scalar reference
+	for _, tc := range []struct{ block, j string }{
+		{"1", "1"},
+		{"7", "2"},
+		{"0", "2"}, // batched default
+		{"4096", "4"},
+	} {
+		if got := runWith(tc.block, tc.j); got != want {
+			t.Errorf("-block %s -j %s: stdout differs from scalar reference:\n--- got\n%s\n--- want\n%s",
+				tc.block, tc.j, got, want)
+		}
+	}
+}

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	experiments [-scale tiny|small|full] [-records N] [-only fig13,fig12]
-//	            [-apps mysql,kafka] [-j N] [-progress] [-timing] [-csv]
-//	            [-cache DIR] [-no-cache] [-journal FILE] [-debug-addr ADDR]
+//	            [-apps mysql,kafka] [-j N] [-block N] [-progress] [-timing]
+//	            [-csv] [-cache DIR] [-no-cache] [-journal FILE]
+//	            [-debug-addr ADDR]
 //
 // Without -only it runs the complete suite in paper order. Results print
 // as aligned text tables (or CSV with -csv); docs/experiments.md maps
@@ -14,7 +15,9 @@
 //
 // Independent (app, input, config) simulation units fan out over -j
 // workers; the tables are byte-identical at every -j, so the flag is
-// purely a wall-clock knob. -progress draws a live done/total/ETA line
+// purely a wall-clock knob. -block selects the pipeline's record-block
+// granularity (0 = batched default, -1 = scalar reference loop); like
+// -j, output is byte-identical at every setting. -progress draws a live done/total/ETA line
 // on stderr and -timing prints a per-unit accounting summary at the end.
 //
 // Profiles and trained hint bundles persist in an on-disk cache
@@ -80,6 +83,7 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	onlyFlag := fs.String("only", "", "comma-separated experiment ids (e.g. fig13,table1)")
 	appsFlag := fs.String("apps", "", "comma-separated app subset (default: all 12)")
 	jFlag := fs.Int("j", 0, "parallel simulation units (0 = one per CPU)")
+	blockFlag := fs.Int("block", 0, "pipeline record-block size (0 = batched default, <0 = scalar reference)")
 	progressFlag := fs.Bool("progress", false, "draw a live progress/ETA line on stderr")
 	timingFlag := fs.Bool("timing", false, "print per-unit timing and cache stats at the end")
 	csvFlag := fs.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -119,6 +123,7 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 		c.opt.Records = *recordsFlag
 	}
 	c.opt.Parallelism = *jFlag
+	c.opt.BlockSize = *blockFlag
 
 	// Instantiate the app set exactly once: the baseline memo keys on app
 	// identity, so sharing instances across drivers is what lets one

@@ -20,8 +20,8 @@ func writeJournal(t *testing.T, path string) {
 	}
 	j := telemetry.NewJournal(f)
 	j.WriteManifest(telemetry.Manifest{Tool: "test"})
-	j.WriteUnit("u0", time.Millisecond, 100)
-	j.WriteUnit("u1", time.Millisecond, 200)
+	j.WriteUnit("u0", time.Millisecond, 100, 40)
+	j.WriteUnit("u1", time.Millisecond, 200, 80)
 	j.WriteSnapshot(nil)
 	if err := j.Err(); err != nil {
 		t.Fatal(err)

@@ -21,13 +21,11 @@ func main() {
 	var sumRed, sumSp float64
 	apps := whisper.Apps()
 	for _, app := range apps {
-		opt := whisper.DefaultBuildOptions()
-		opt.Records = *records
-		build, err := whisper.Optimize(app, opt)
+		build, err := whisper.Optimize(app, whisper.WithRecords(*records))
 		if err != nil {
 			log.Fatalf("%s: %v", app.Name(), err)
 		}
-		ev := whisper.Evaluate(build, app, 1, *records, 0.3)
+		ev := build.Evaluate(1, *records)
 		fmt.Printf("%-16s %12.2f %12.2f %9.1f%% %7.2f%%\n",
 			app.Name(), ev.Baseline.MPKI(), ev.Whisper.MPKI(),
 			ev.Reduction()*100, ev.Speedup()*100)

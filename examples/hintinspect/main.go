@@ -22,9 +22,7 @@ func main() {
 	if app == nil {
 		log.Fatalf("unknown app %q", *appName)
 	}
-	opt := whisper.DefaultBuildOptions()
-	opt.Records = *records
-	build, err := whisper.Optimize(app, opt)
+	build, err := whisper.Optimize(app, whisper.WithRecords(*records))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,9 +15,7 @@ func main() {
 	app := whisper.AppByName("mysql")
 
 	// 2. Profile it "in production" (input #0) and train hints offline.
-	opt := whisper.DefaultBuildOptions()
-	opt.Records = 200_000
-	build, err := whisper.Optimize(app, opt)
+	build, err := whisper.Optimize(app, whisper.WithRecords(200_000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,7 +23,7 @@ func main() {
 		len(build.Train.Hints), build.Binary.Placed, build.Binary.StaticOverhead()*100)
 
 	// 3. Deploy: evaluate on a different input (#1), as the paper does.
-	ev := whisper.Evaluate(build, app, 1, 200_000, 0.3)
+	ev := build.Evaluate(1, 200_000)
 	fmt.Printf("baseline: IPC %.3f, branch-MPKI %.2f\n", ev.Baseline.IPC(), ev.Baseline.MPKI())
 	fmt.Printf("whisper : IPC %.3f, branch-MPKI %.2f\n", ev.Whisper.IPC(), ev.Whisper.MPKI())
 	fmt.Printf("==> %.1f%% fewer mispredictions, %.2f%% speedup\n",

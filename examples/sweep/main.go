@@ -25,28 +25,28 @@ func main() {
 	for _, kb := range []int{8, 32, 64, 256, 1024} {
 		kb := kb
 		baseline := func() whisper.Predictor { return whisper.NewTageSCL(kb) }
-		opt := whisper.DefaultBuildOptions()
-		opt.Records = *records
-		opt.Baseline = baseline
-		build, err := whisper.Optimize(app, opt)
+		build, err := whisper.Optimize(app,
+			whisper.WithRecords(*records),
+			whisper.WithPredictor(baseline))
 		if err != nil {
 			log.Fatal(err)
 		}
-		ev := whisper.EvaluateWith(build, app, 1, *records, 0.3, baseline)
+		ev := build.Evaluate(1, *records)
 		fmt.Printf("  %5dKB baseline: MPKI %.2f, whisper reduction %.1f%%\n",
 			kb, ev.Baseline.MPKI(), ev.Reduction()*100)
 	}
 
 	fmt.Println("\n== randomized formula testing sweep (Fig 15) ==")
 	for _, frac := range []float64{0.001, 0.01, 0.05, 1.0} {
-		opt := whisper.DefaultBuildOptions()
-		opt.Records = *records
-		opt.Params.ExploreFraction = frac
-		build, err := whisper.Optimize(app, opt)
+		params := whisper.DefaultParams()
+		params.ExploreFraction = frac
+		build, err := whisper.Optimize(app,
+			whisper.WithRecords(*records),
+			whisper.WithParams(params))
 		if err != nil {
 			log.Fatal(err)
 		}
-		ev := whisper.Evaluate(build, app, 1, *records, 0.3)
+		ev := build.Evaluate(1, *records)
 		fmt.Printf("  explore %5.1f%%: %3d hints, reduction %5.1f%%, training %v\n",
 			frac*100, len(build.Train.Hints), ev.Reduction()*100,
 			build.Train.Duration.Round(1e6))

@@ -1,0 +1,69 @@
+package benchio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema:     Schema,
+		Name:       "test",
+		Go:         "go1.24.0",
+		GOMAXPROCS: 4,
+		Results: []Result{{
+			App:                  "mysql",
+			Predictor:            "tage-sc-l-64KB",
+			Records:              1000,
+			Reps:                 3,
+			ScalarNSPerRecord:    800,
+			BatchedNSPerRecord:   400,
+			ScalarRecordsPerSec:  1e9 / 800,
+			BatchedRecordsPerSec: 1e9 / 400,
+			Speedup:              2,
+		}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := sampleReport()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || len(got.Results) != 1 || got.Results[0] != want.Results[0] {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, want)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+		want string
+	}{
+		{"future schema", func(r *Report) { r.Schema = Schema + 1 }, "schema"},
+		{"no name", func(r *Report) { r.Name = "" }, "name"},
+		{"no results", func(r *Report) { r.Results = nil }, "no results"},
+		{"zero records", func(r *Report) { r.Results[0].Records = 0 }, "records"},
+		{"zero time", func(r *Report) { r.Results[0].ScalarNSPerRecord = 0 }, "ns/record"},
+		{"bad speedup", func(r *Report) { r.Results[0].Speedup = 9 }, "speedup"},
+		{"bad rate", func(r *Report) { r.Results[0].BatchedRecordsPerSec = 1 }, "records/sec"},
+	}
+	for _, tc := range cases {
+		r := sampleReport()
+		tc.mut(r)
+		err := Validate(r)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Validate(sampleReport()); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+}

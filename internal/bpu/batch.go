@@ -1,0 +1,47 @@
+package bpu
+
+// BatchPredictor is the optional block fast path of the simulation hot
+// loop. PredictUpdateBatch must be semantically identical to calling
+// Predict(pcs[i]) followed by Update(pcs[i], taken[i]) for every i in
+// order — same predictions, same internal state afterwards — but a
+// single dynamic dispatch covers the whole span, which lets heavy
+// predictors hoist history-hash computation and bookkeeping out of the
+// per-record path. The batched engine verifies equivalence with
+// differential tests at every block size; predictors that do not
+// implement the interface run through the Batch adapter below.
+type BatchPredictor interface {
+	Predictor
+	// PredictUpdateBatch predicts and trains on len(pcs) conditional
+	// branch records, setting miss[i] to whether the prediction for
+	// pcs[i] differed from taken[i]. The three slices share a length.
+	PredictUpdateBatch(pcs []uint64, taken, miss []bool)
+}
+
+// scalarBatch adapts any Predictor to BatchPredictor with the reference
+// per-record loop, including OraclePrimer priming.
+type scalarBatch struct {
+	Predictor
+}
+
+// PredictUpdateBatch implements BatchPredictor.
+func (s scalarBatch) PredictUpdateBatch(pcs []uint64, taken, miss []bool) {
+	p := s.Predictor
+	primer, _ := p.(OraclePrimer)
+	for i, pc := range pcs {
+		if primer != nil {
+			primer.Prime(taken[i])
+		}
+		miss[i] = p.Predict(pc) != taken[i]
+		p.Update(pc, taken[i])
+	}
+}
+
+// Batch returns p itself when it already implements BatchPredictor, or
+// wraps it in the scalar fallback adapter otherwise. The result is
+// always safe to drive through PredictUpdateBatch.
+func Batch(p Predictor) BatchPredictor {
+	if bp, ok := p.(BatchPredictor); ok {
+		return bp
+	}
+	return scalarBatch{p}
+}

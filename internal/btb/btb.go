@@ -95,12 +95,17 @@ func (b *BTB) Update(pc, target uint64) {
 
 func (b *BTB) touch(base, w int) {
 	old := b.lru[base+w]
+	mru := uint8(b.ways - 1)
+	if old == mru {
+		// Already most recent: the rank rewrite below would be a no-op.
+		return
+	}
 	for i := 0; i < b.ways; i++ {
 		if b.lru[base+i] > old {
 			b.lru[base+i]--
 		}
 	}
-	b.lru[base+w] = uint8(b.ways - 1)
+	b.lru[base+w] = mru
 }
 
 // Lookups returns the number of Lookup calls.

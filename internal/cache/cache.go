@@ -14,10 +14,11 @@ const LineSize = 64
 
 // Cache is a set-associative cache with true-LRU replacement.
 type Cache struct {
-	name    string
-	sets    int
-	ways    int
-	setMask uint64
+	name     string
+	sets     int
+	ways     int
+	setMask  uint64
+	setShift uint
 	// tags[set*ways+way]; lru holds per-set recency ranks (lower = older).
 	tags  []uint64
 	valid []bool
@@ -43,13 +44,14 @@ func New(name string, sizeBytes, ways int) *Cache {
 		panic("cache: ways > 255 unsupported")
 	}
 	return &Cache{
-		name:    name,
-		sets:    sets,
-		ways:    ways,
-		setMask: uint64(sets - 1),
-		tags:    make([]uint64, sets*ways),
-		valid:   make([]bool, sets*ways),
-		lru:     make([]uint8, sets*ways),
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		setMask:  uint64(sets - 1),
+		setShift: uint(log2(sets)),
+		tags:     make([]uint64, sets*ways),
+		valid:    make([]bool, sets*ways),
+		lru:      make([]uint8, sets*ways),
 	}
 }
 
@@ -64,7 +66,7 @@ func (c *Cache) Ways() int { return c.ways }
 
 func (c *Cache) setOf(addr uint64) (set uint64, tag uint64) {
 	line := addr / LineSize
-	return line & c.setMask, line >> uint(log2(c.sets))
+	return line & c.setMask, line >> c.setShift
 }
 
 func log2(n int) int {
@@ -123,12 +125,18 @@ func (c *Cache) Insert(addr uint64) {
 // touch marks way w in the set starting at base as most recently used.
 func (c *Cache) touch(base, w int) {
 	old := c.lru[base+w]
+	mru := uint8(c.ways - 1)
+	if old == mru {
+		// Already most recent: no rank above old exists, so the rewrite
+		// below would be a no-op. Hot lines hit this path constantly.
+		return
+	}
 	for i := 0; i < c.ways; i++ {
 		if c.lru[base+i] > old {
 			c.lru[base+i]--
 		}
 	}
-	c.lru[base+w] = uint8(c.ways - 1)
+	c.lru[base+w] = mru
 }
 
 // insert allocates tag into the LRU way of the set starting at base.

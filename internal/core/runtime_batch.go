@@ -1,0 +1,65 @@
+package core
+
+import (
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/hint"
+)
+
+// PassiveAt implements pipeline.PassiveHook: OnRecord only does work at
+// PCs hosting hints, so the batched engine may run prediction spans
+// straight through every other record. Records at host PCs flush the
+// span before OnRecord runs, which keeps hint-buffer inserts ordered
+// against lookups exactly as in the scalar loop.
+func (r *Runtime) PassiveAt(pc uint64) bool {
+	_, hosted := r.binary.ByHost[pc]
+	return !hosted
+}
+
+// PredictUpdateBatch implements bpu.BatchPredictor. The hint buffer is
+// stateful (lookup counters and LRU order), so Lookup runs exactly once
+// per record in order, just like the scalar path; runs of buffer misses
+// between hits are delegated to the underlying predictor's batch path.
+// The hybrid's folded history is only read at buffer hits, so replaying
+// a delegated span's outcomes into the history before evaluating the
+// hit reproduces the scalar state bit for bit. The engine breaks spans
+// at hint-hosting records (see PassiveAt), so no buffer insert can land
+// inside one call.
+func (r *Runtime) PredictUpdateBatch(pcs []uint64, taken, miss []bool) {
+	if r.underBatch == nil {
+		r.underBatch = bpu.Batch(r.under)
+	}
+	start := 0
+	flush := func(end int) {
+		if start < end {
+			r.underBatch.PredictUpdateBatch(pcs[start:end], taken[start:end], miss[start:end])
+			for k := start; k < end; k++ {
+				r.hist.Push(taken[k])
+			}
+		}
+	}
+	for i, pc := range pcs {
+		h, ok := r.buffer.Lookup(pc)
+		if !ok {
+			continue
+		}
+		flush(i)
+		r.HintPredictions++
+		var pred bool
+		switch h.Bias {
+		case hint.BiasTaken:
+			pred = true
+		case hint.BiasNotTaken:
+			pred = false
+		default:
+			l := r.lengths[h.HistIdx]
+			pred = h.Formula.Eval(r.hist.Fold(l))
+		}
+		miss[i] = pred != taken[i]
+		// As in the scalar path the underlying predictor still trains on
+		// hinted branches (its Update re-predicts internally).
+		r.under.Update(pc, taken[i])
+		r.hist.Push(taken[i])
+		start = i + 1
+	}
+	flush(len(pcs))
+}

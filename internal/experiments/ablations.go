@@ -49,6 +49,7 @@ func BufferSweep(opt Options, sizes []int) (*BufferSweepResult, error) {
 		}
 		base := opt.runBaseline(app, opt.TestInput)
 		u.AddInstrs(b.Profile.Instrs + base.Instrs)
+		u.AddRecords(b.Profile.Records + base.Records)
 		return built{b: b, baseMisp: base.CondMisp}, nil
 	})
 	if err != nil {
@@ -66,6 +67,7 @@ func BufferSweep(opt Options, sizes []int) (*BufferSweepResult, error) {
 			popt.Hook = rt
 			res := sim.RunApp(app, opt.TestInput, opt.Records, rt, popt)
 			u.AddInstrs(res.Instrs)
+			u.AddRecords(res.Records)
 			red := 0.0
 			if builds[ai].baseMisp > 0 {
 				red = 1 - float64(res.CondMisp)/float64(builds[ai].baseMisp)
@@ -118,6 +120,7 @@ func Ablations(opt Options) (*AblationResult, error) {
 	per, err := mapApps(opt, "ablations", func(ai int, app *workload.App, u *runner.Unit) (ablationApp, error) {
 		base := opt.runBaseline(app, opt.TestInput)
 		u.AddInstrs(base.Instrs)
+		u.AddRecords(base.Records)
 
 		// Full design (shared build for full + no-suppression).
 		b, err := opt.buildWhisper(app)
@@ -131,6 +134,7 @@ func Ablations(opt Options) (*AblationResult, error) {
 			popt.Hook = rt
 			res := sim.RunApp(app, opt.TestInput, opt.Records, rt, popt)
 			u.AddInstrs(res.Instrs)
+			u.AddRecords(res.Records)
 			return sim.MispReduction(base, res)
 		}
 		pa := ablationApp{}

@@ -42,6 +42,7 @@ func Fig1(opt Options) (*Fig1Result, error) {
 		base := opt.runBaseline(app, opt.TrainInput)
 		ideal := opt.runIdeal(app, opt.TrainInput)
 		u.AddInstrs(base.Instrs + ideal.Instrs)
+		u.AddRecords(base.Records + ideal.Records)
 		// Decomposition: cycles saved in each bucket relative to the
 		// ideal run's cycle count (so the parts sum to the total).
 		mispSaved := float64(base.SquashCycles) - float64(ideal.SquashCycles)
@@ -96,6 +97,7 @@ func Fig2(opt Options) (*Fig2Result, error) {
 	mpki, err := mapApps(opt, "fig2", func(i int, app *workload.App, u *runner.Unit) (float64, error) {
 		base := opt.runBaseline(app, opt.TrainInput)
 		u.AddInstrs(base.Instrs)
+		u.AddRecords(base.Records)
 		return base.MPKI(), nil
 	})
 	if err != nil {
@@ -196,6 +198,7 @@ func Fig5(opt Options) (*Fig5Result, error) {
 		var total uint64
 		for s.Next(&rec) {
 			u.AddInstrs(uint64(rec.Instrs))
+			u.AddRecords(1)
 			if rec.Kind != trace.CondBranch {
 				continue
 			}
@@ -298,6 +301,7 @@ func Fig6(opt Options) (*Fig6Result, error) {
 		var seen uint64
 		for s.Next(&rec) {
 			u.AddInstrs(uint64(rec.Instrs))
+			u.AddRecords(1)
 			seen++
 			if rec.Kind != trace.CondBranch {
 				continue

@@ -93,9 +93,11 @@ func RunComparison(opt Options, techniques []Technique) (*Comparison, error) {
 		}
 		base := opt.runBaseline(app, opt.TestInput)
 		u.AddInstrs(base.Instrs)
+		u.AddRecords(base.Records)
 		pa.baseMPKI = base.MPKI()
 		record := func(t Technique, res pipeline.Result) {
 			u.AddInstrs(res.Instrs)
+			u.AddRecords(res.Records)
 			pa.reduction[t] = sim.MispReduction(base, res)
 			pa.speedup[t] = sim.Speedup(base, res)
 		}

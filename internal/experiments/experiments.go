@@ -45,6 +45,13 @@ type Options struct {
 	Pipeline pipeline.Config
 	// Params override Whisper's design parameters (zero = Table III).
 	Params core.Params
+	// BlockSize selects the pipeline's record-block granularity: 0 runs
+	// the batched engine at trace.DefaultBlockSize, positive values set
+	// an explicit block size, negative forces the scalar reference loop
+	// (the CLI's -block flag). Results are bit-identical at every
+	// setting — locked by the engine's differential tests and the golden
+	// files — so this is purely a performance/debugging knob.
+	BlockSize int
 	// Parallelism bounds how many simulation units run concurrently
 	// (the CLI's -j flag). Zero means one worker per CPU. Results are
 	// byte-identical at every setting: units derive their RNG streams
@@ -123,6 +130,7 @@ func (o Options) popt() pipeline.Options {
 	return pipeline.Options{
 		Config:        o.Pipeline,
 		WarmupRecords: uint64(float64(o.Records) * o.WarmupFrac),
+		BlockSize:     o.BlockSize,
 	}
 }
 
@@ -153,10 +161,13 @@ func BaselineCacheStats() (hits, misses uint64) { return baselineMemo.Stats() }
 // (app, input) window. The predictor is always constructed through
 // sim.TageSized, whose seed normalization makes sizeKB a complete
 // description of the configuration.
-func memoBaseline(app *workload.App, input, records int, warmup uint64, sizeKB int, pcfg pipeline.Config) pipeline.Result {
+// block is not part of the key: the engine produces bit-identical
+// results at every block size (locked by differential tests), so the
+// memo may serve a result computed at any granularity.
+func memoBaseline(app *workload.App, input, records int, warmup uint64, sizeKB int, pcfg pipeline.Config, block int) pipeline.Result {
 	key := baselineKey{app: app, input: input, records: records, warmup: warmup, sizeKB: sizeKB, pcfg: pcfg}
 	return baselineMemo.Do(key, func() pipeline.Result {
-		popt := pipeline.Options{Config: pcfg, WarmupRecords: warmup}
+		popt := pipeline.Options{Config: pcfg, WarmupRecords: warmup, BlockSize: block}
 		return sim.RunApp(app, input, records, sim.TageSized(sizeKB)(), popt)
 	})
 }
@@ -164,7 +175,7 @@ func memoBaseline(app *workload.App, input, records int, warmup uint64, sizeKB i
 // runBaseline measures the 64KB TAGE-SC-L baseline for one app/input.
 func (o Options) runBaseline(app *workload.App, input int) pipeline.Result {
 	return memoBaseline(app, input, o.Records,
-		uint64(float64(o.Records)*o.WarmupFrac), 64, o.Pipeline)
+		uint64(float64(o.Records)*o.WarmupFrac), 64, o.Pipeline, o.BlockSize)
 }
 
 // runIdeal measures the ideal direction predictor.

@@ -27,10 +27,11 @@ func whisperReductionWith(opt Options, phase string, sizeKB int, records int, wa
 		if err != nil {
 			return sweepApp{}, err
 		}
-		popt := pipeline.Options{Config: opt.Pipeline, WarmupRecords: warmup}
-		base := memoBaseline(app, opt.TestInput, records, warmup, sizeKB, opt.Pipeline)
+		popt := pipeline.Options{Config: opt.Pipeline, WarmupRecords: warmup, BlockSize: opt.BlockSize}
+		base := memoBaseline(app, opt.TestInput, records, warmup, sizeKB, opt.Pipeline, opt.BlockSize)
 		res, _ := b.RunWhisperWarm(app, opt.TestInput, records, factory, popt)
 		u.AddInstrs(base.Instrs + res.Instrs)
+		u.AddRecords(base.Records + res.Records)
 		return sweepApp{red: sim.MispReduction(base, res), mpki: base.MPKI()}, nil
 	})
 	if err != nil {
@@ -145,6 +146,7 @@ func Fig22(opt Options, fracs []float64) (*Fig22Result, error) {
 			return nil, err
 		}
 		u.AddInstrs(b.Profile.Instrs)
+		u.AddRecords(b.Profile.Records)
 		return b, nil
 	})
 	if err != nil {
@@ -153,10 +155,11 @@ func Fig22(opt Options, fracs []float64) (*Fig22Result, error) {
 	for _, f := range fracs {
 		warmup := uint64(float64(opt.Records) * f)
 		reds, err := mapApps(opt, fmt.Sprintf("fig22@%g", f), func(ai int, app *workload.App, u *runner.Unit) (float64, error) {
-			popt := pipeline.Options{Config: opt.Pipeline, WarmupRecords: warmup}
-			base := memoBaseline(app, opt.TestInput, opt.Records, warmup, 64, opt.Pipeline)
+			popt := pipeline.Options{Config: opt.Pipeline, WarmupRecords: warmup, BlockSize: opt.BlockSize}
+			base := memoBaseline(app, opt.TestInput, opt.Records, warmup, 64, opt.Pipeline, opt.BlockSize)
 			res, _ := builds[ai].RunWhisperWarm(app, opt.TestInput, opt.Records, sim.Tage64KB, popt)
 			u.AddInstrs(base.Instrs + res.Instrs)
+			u.AddRecords(base.Records + res.Records)
 			return sim.MispReduction(base, res), nil
 		})
 		if err != nil {

@@ -48,6 +48,7 @@ func Fig7(opt Options) (*Fig7Result, error) {
 			return nil, err
 		}
 		u.AddInstrs(b.Profile.Instrs)
+		u.AddRecords(b.Profile.Records)
 		shares := make([]float64, len(Fig7Ops))
 		var total float64
 		for pc, h := range b.Train.Hints {
@@ -142,6 +143,7 @@ func Fig14(opt Options) (*Fig14Result, error) {
 	per, err := mapApps(opt, "fig14", func(ai int, app *workload.App, u *runner.Unit) (fig14App, error) {
 		base := opt.runBaseline(app, opt.TestInput)
 		u.AddInstrs(base.Instrs)
+		u.AddRecords(base.Records)
 
 		// 8b-ROMBF reference, trained over the same hard-branch set the
 		// Whisper variants see (the figure decomposes expressiveness;
@@ -242,6 +244,7 @@ func Fig15(opt Options, fractions []float64) (*Fig15Result, error) {
 			func(ai int, app *workload.App, u *runner.Unit) (fig15App, error) {
 				base := opt.runBaseline(app, opt.TestInput)
 				u.AddInstrs(base.Instrs)
+				u.AddRecords(base.Records)
 				params := opt.Params
 				params.ExploreFraction = frac
 				b, err := opt.buildWhisperAt(app, opt.TrainInput, opt.Records, 64, params)
@@ -250,6 +253,7 @@ func Fig15(opt Options, fractions []float64) (*Fig15Result, error) {
 				}
 				res, _ := b.RunWhisperWarm(app, opt.TestInput, opt.Records, sim.Tage64KB, opt.popt())
 				u.AddInstrs(res.Instrs)
+				u.AddRecords(res.Records)
 				return fig15App{red: sim.MispReduction(base, res), train: b.Train.Duration}, nil
 			})
 		if err != nil {
@@ -312,6 +316,7 @@ func Fig17(opt Options, testInputs []int) (*Fig17Result, error) {
 			res, _ := crossB.RunWhisperWarm(app, ti, opt.Records, sim.Tage64KB, opt.popt())
 			cross = append(cross, sim.MispReduction(base, res))
 			u.AddInstrs(base.Instrs + res.Instrs)
+			u.AddRecords(base.Records + res.Records)
 
 			sameB, err := opt.buildWhisperAt(app, ti, opt.Records, 64, opt.Params)
 			if err != nil {
@@ -320,6 +325,7 @@ func Fig17(opt Options, testInputs []int) (*Fig17Result, error) {
 			sres, _ := sameB.RunWhisperWarm(app, ti, opt.Records, sim.Tage64KB, opt.popt())
 			same = append(same, sim.MispReduction(base, sres))
 			u.AddInstrs(sres.Instrs)
+			u.AddRecords(sres.Records)
 		}
 		return fig17App{cross: cross, same: same}, nil
 	})
@@ -384,6 +390,7 @@ func Fig18(opt Options, maxInputs int) (*Fig18Result, error) {
 		testInput := app.Inputs() - 1
 		base := opt.runBaseline(app, testInput)
 		u.AddInstrs(base.Instrs)
+		u.AddRecords(base.Records)
 		g := cfg.Build(app.Stream(opt.TrainInput, opt.Records))
 
 		var merged, rmerged *profiler.Profile
@@ -430,6 +437,7 @@ func Fig18(opt Options, maxInputs int) (*Fig18Result, error) {
 			res := sim.RunApp(app, testInput, opt.Records, rt, popt)
 			pa.wh = append(pa.wh, sim.MispReduction(base, res))
 			u.AddInstrs(res.Instrs)
+			u.AddRecords(res.Records)
 
 			// 8b-ROMBF from the merged raw-history profile.
 			rtr, err := rombf.Train(rmerged, rombf.DefaultConfig())
@@ -440,6 +448,7 @@ func Fig18(opt Options, maxInputs int) (*Fig18Result, error) {
 				rombf.NewPredictor(tage.New(tage.DefaultConfig()), rtr.Hints, 8), opt.popt())
 			pa.ro = append(pa.ro, sim.MispReduction(base, rres))
 			u.AddInstrs(rres.Instrs)
+			u.AddRecords(rres.Records)
 		}
 		return pa, nil
 	})
@@ -496,6 +505,7 @@ func Fig19(opt Options) (*Fig19Result, error) {
 			return fig19App{}, err
 		}
 		u.AddInstrs(b.Profile.Instrs)
+		u.AddRecords(b.Profile.Records)
 		return fig19App{
 			static:  b.Binary.StaticOverhead(),
 			dynamic: b.Binary.DynamicOverhead(),

@@ -58,6 +58,11 @@ type MTageSC struct {
 	trust map[uint64]uint8
 
 	last lastPred
+
+	// plan/hashOut are the precompiled plan and scratch of the batched
+	// fast path.
+	plan    *bpu.HashPlan
+	hashOut []uint64
 }
 
 type lastPred struct {
@@ -80,6 +85,8 @@ func New() *MTageSC {
 		m.comps[i] = make(map[key]ctr)
 	}
 	m.last.keys = make([]key, len(histLens))
+	m.plan = bpu.MakeHashPlan(histLens)
+	m.hashOut = make([]uint64, len(histLens))
 	return m
 }
 
@@ -88,6 +95,28 @@ func (m *MTageSC) Name() string { return "mtage-sc-unlimited" }
 
 // Predict implements bpu.Predictor.
 func (m *MTageSC) Predict(pc uint64) bool {
+	lp := &m.last
+	for i, l := range histLens {
+		lp.keys[i] = key{pc: pc, h: m.hist.Hash(pc, l)}
+	}
+	return m.predictCore(pc)
+}
+
+// predictFast is Predict with the 16 component hashes computed through
+// one precompiled prefix-shared pass; it is the per-record body of
+// PredictUpdateBatch and bit-identical to Predict.
+func (m *MTageSC) predictFast(pc uint64) bool {
+	lp := &m.last
+	m.hist.HashPlanned(pc, m.plan, m.hashOut)
+	for i := range histLens {
+		lp.keys[i] = key{pc: pc, h: m.hashOut[i]}
+	}
+	return m.predictCore(pc)
+}
+
+// predictCore runs the longest-confident-match and corrector logic over
+// the component keys staged in lp.keys.
+func (m *MTageSC) predictCore(pc uint64) bool {
 	lp := &m.last
 	lp.pc = pc
 	lp.valid = true
@@ -102,13 +131,10 @@ func (m *MTageSC) Predict(pc uint64) bool {
 	lp.pred = lp.basePred
 
 	for i := len(histLens) - 1; i >= 0; i-- {
-		k := key{pc: pc, h: m.hist.Hash(pc, histLens[i])}
-		lp.keys[i] = k
-		if lp.provider < 0 {
-			if c, ok := m.comps[i][k]; ok && c.confident() {
-				lp.provider = i
-				lp.pred = c.taken()
-			}
+		if c, ok := m.comps[i][lp.keys[i]]; ok && c.confident() {
+			lp.provider = i
+			lp.pred = c.taken()
+			break
 		}
 	}
 	if lp.provider >= 0 {
@@ -179,4 +205,14 @@ func (m *MTageSC) Entries() int {
 		n += len(m.comps[i])
 	}
 	return n
+}
+
+// PredictUpdateBatch implements bpu.BatchPredictor: Predict+Update per
+// record with the component hashes routed through the prefix-shared
+// fast kernel. Locked bit-identical by the differential tests.
+func (m *MTageSC) PredictUpdateBatch(pcs []uint64, taken, miss []bool) {
+	for i, pc := range pcs {
+		miss[i] = m.predictFast(pc) != taken[i]
+		m.Update(pc, taken[i])
+	}
 }

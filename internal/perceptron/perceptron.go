@@ -68,6 +68,11 @@ type Perceptron struct {
 	lastSeg  []uint64
 	lastPC   uint64
 	valid    bool
+
+	// segHash stages the per-segment history hashes for the current
+	// prediction; segPlan is the precompiled plan over the To lengths.
+	segHash []uint64
+	segPlan *bpu.HashPlan
 }
 
 // New builds a predictor with the given budget.
@@ -94,7 +99,13 @@ func New(cfg Config) *Perceptron {
 		thetaMin: int32(1.93*float64(HistBits+len(segments))) + 14,
 		lastBit:  make([]uint64, nBit),
 		lastSeg:  make([]uint64, len(segments)),
+		segHash:  make([]uint64, len(segments)),
 	}
+	var segLens []int
+	for _, seg := range segments {
+		segLens = append(segLens, seg.To)
+	}
+	p.segPlan = bpu.MakeHashPlan(segLens)
 	p.bitTbl = make([][]int8, nBit)
 	for i := range p.bitTbl {
 		p.bitTbl[i] = make([]int8, bitEntries)
@@ -121,6 +132,23 @@ func (p *Perceptron) colIdx(pc uint64, c int) uint64 {
 
 // Predict implements bpu.Predictor.
 func (p *Perceptron) Predict(pc uint64) bool {
+	for si, seg := range segments {
+		p.segHash[si] = p.hist.Hash(pc, seg.To)
+	}
+	return p.predictCore(pc)
+}
+
+// predictFast is Predict with the segment hashes computed through one
+// precompiled prefix-shared pass; bit-identical by construction and by
+// differential test.
+func (p *Perceptron) predictFast(pc uint64) bool {
+	p.hist.HashPlanned(pc, p.segPlan, p.segHash)
+	return p.predictCore(pc)
+}
+
+// predictCore computes the dot product over the column weights using
+// the segment hashes staged in p.segHash.
+func (p *Perceptron) predictCore(pc uint64) bool {
 	bi := p.colIdx(pc, 0)
 	p.lastBit[0] = bi
 	sum := int32(p.bitTbl[0][bi]) // bias
@@ -135,7 +163,7 @@ func (p *Perceptron) Predict(pc uint64) bool {
 		}
 	}
 	for si, seg := range segments {
-		idx := (p.hist.Hash(pc, seg.To) ^ uint64(seg.From)*0x9E3779B97F4A7C15) & p.segMask
+		idx := (p.segHash[si] ^ uint64(seg.From)*0x9E3779B97F4A7C15) & p.segMask
 		p.lastSeg[si] = idx
 		sum += int32(p.segTbl[si][idx])
 	}
@@ -203,3 +231,13 @@ func (p *Perceptron) Update(pc uint64, taken bool) {
 
 // Theta exposes the adaptive threshold for tests.
 func (p *Perceptron) Theta() int32 { return p.theta }
+
+// PredictUpdateBatch implements bpu.BatchPredictor: Predict+Update per
+// record with the segment hashes routed through the prefix-shared fast
+// kernel. Locked bit-identical by the differential tests.
+func (p *Perceptron) PredictUpdateBatch(pcs []uint64, taken, miss []bool) {
+	for i, pc := range pcs {
+		miss[i] = p.predictFast(pc) != taken[i]
+		p.Update(pc, taken[i])
+	}
+}

@@ -50,6 +50,18 @@ type RecordHook interface {
 	OnRecord(rec *trace.Record)
 }
 
+// PassiveHook is the optional RecordHook refinement the batched engine
+// needs: PassiveAt(pc) reports that OnRecord is a guaranteed no-op for
+// every record at pc, so a prediction span may run straight through such
+// records without interleaving hook calls. Records at non-passive PCs
+// flush the pending span (the record itself included, when conditional)
+// before OnRecord runs, preserving the scalar predict/update/hook
+// ordering exactly. Hooks that do not implement PassiveHook force the
+// scalar engine.
+type PassiveHook interface {
+	PassiveAt(pc uint64) bool
+}
+
 // Result carries the run's counters and attributions.
 type Result struct {
 	// Records and Instrs describe the measured window.
@@ -102,10 +114,35 @@ type Options struct {
 	// Hook, when non-nil, observes every retired record (hint
 	// execution).
 	Hook RecordHook
+	// BlockSize selects the engine: 0 runs the batched engine at
+	// trace.DefaultBlockSize, a positive value runs it at that block
+	// size, and a negative value forces the scalar reference engine.
+	// Every setting produces bit-identical results (locked by the
+	// differential tests); the knob exists for testing and comparison.
+	BlockSize int
 }
 
-// Run drives pred over the stream and returns the accounting.
+// Run drives pred over the stream and returns the accounting. It uses
+// the batched block engine unless opt.BlockSize is negative or the hook
+// does not support span batching (see PassiveHook), in which case it
+// falls back to the scalar reference loop. Both engines are
+// bit-identical by construction and by differential test.
 func Run(s trace.Stream, pred bpu.Predictor, opt Options) Result {
+	if opt.BlockSize < 0 {
+		return RunScalar(s, pred, opt)
+	}
+	if opt.Hook != nil {
+		if _, ok := opt.Hook.(PassiveHook); !ok {
+			return RunScalar(s, pred, opt)
+		}
+	}
+	return runBatched(s, pred, opt)
+}
+
+// RunScalar is the per-record reference engine: one Stream.Next, one
+// Predict, one Update per record. The batched engine is defined as
+// producing exactly its output; differential tests compare the two.
+func RunScalar(s trace.Stream, pred bpu.Predictor, opt Options) Result {
 	sp := telemetry.StartSpan("simulate")
 	defer sp.End()
 	cfg := opt.Config
@@ -179,6 +216,145 @@ func Run(s trace.Stream, pred bpu.Predictor, opt Options) Result {
 			prevTarget = rec.Target
 		} else {
 			prevTarget = rec.PC + 4
+		}
+	}
+	res.Frontend = subStats(fe.Stats, feAtMeasure)
+	res.Cycles = res.BaseCycles + res.SquashCycles + res.FrontendCycles
+	res.emitTelemetry()
+	return res
+}
+
+// runBatched is the block engine. Each block is processed in two phases
+// that together replay the scalar loop exactly:
+//
+//   - Phase A walks the block's conditional records and resolves their
+//     direction outcomes through one BatchPredictor call per span. The
+//     direction predictor's state depends only on the (pc, taken)
+//     sequence of conditionals — never on the frontend — so hoisting
+//     prediction ahead of the cycle accounting cannot change any
+//     prediction. Spans break only at records whose hook call is not a
+//     guaranteed no-op (PassiveHook), preserving predict/hook ordering.
+//   - Phase B replays the block record by record for cycle accounting
+//     (retire-width arithmetic, FetchRun, target prediction, squashes),
+//     consuming the precomputed miss flags. This is the scalar loop with
+//     Predict/Update lifted out.
+func runBatched(s trace.Stream, pred bpu.Predictor, opt Options) Result {
+	sp := telemetry.StartSpan("simulate")
+	defer sp.End()
+	cfg := opt.Config
+	if cfg.Width <= 0 {
+		cfg = DefaultConfig()
+	}
+	fe := frontend.New(cfg.Frontend)
+	var res Result
+	res.WarmupRecords = opt.WarmupRecords
+
+	size := opt.BlockSize
+	if size == 0 {
+		size = trace.DefaultBlockSize
+	}
+	blk := trace.NewBlock(size)
+	size = blk.Cap()
+	bp := bpu.Batch(pred)
+	hook := opt.Hook
+	var passiveAt func(uint64) bool
+	if hook != nil {
+		passiveAt = hook.(PassiveHook).PassiveAt
+	}
+
+	// Span scratch: spanIdx maps the k-th span entry back to its block
+	// position so miss flags land on the right record.
+	spanPC := make([]uint64, size)
+	spanTaken := make([]bool, size)
+	spanMiss := make([]bool, size)
+	spanIdx := make([]int, size)
+	miss := make([]bool, size)
+	spanLen := 0
+	flush := func() {
+		if spanLen == 0 {
+			return
+		}
+		bp.PredictUpdateBatch(spanPC[:spanLen], spanTaken[:spanLen], spanMiss[:spanLen])
+		for k := 0; k < spanLen; k++ {
+			miss[spanIdx[k]] = spanMiss[k]
+		}
+		spanLen = 0
+	}
+
+	var rec trace.Record
+	var instrRemainder uint64
+	var warmup = opt.WarmupRecords
+	var seen uint64
+	measuring := warmup == 0
+	prevTarget := uint64(0)
+	var feAtMeasure frontend.Stats
+
+	for trace.Fill(s, blk) > 0 {
+		n := blk.N
+
+		// Phase A: direction outcomes.
+		for i := 0; i < n; i++ {
+			if blk.Kind[i] == trace.CondBranch {
+				spanPC[spanLen] = blk.PC[i]
+				spanTaken[spanLen] = blk.Taken[i]
+				spanIdx[spanLen] = i
+				spanLen++
+			}
+			if hook != nil && !passiveAt(blk.PC[i]) {
+				flush()
+				blk.Record(i, &rec)
+				hook.OnRecord(&rec)
+			}
+		}
+		flush()
+
+		// Phase B: cycle accounting.
+		for i := 0; i < n; i++ {
+			seen++
+			if !measuring && seen > warmup {
+				measuring = true
+				// Reset measured counters; structures stay warm.
+				res = Result{WarmupRecords: warmup}
+				instrRemainder = 0
+				feAtMeasure = fe.Stats
+			}
+
+			instrs := uint64(blk.Instrs[i]) + 1
+			res.Records++
+			res.Instrs += instrs
+
+			instrRemainder += instrs
+			res.BaseCycles += instrRemainder / uint64(cfg.Width)
+			instrRemainder %= uint64(cfg.Width)
+
+			start := prevTarget
+			if start == 0 {
+				start = blk.PC[i]
+			}
+			res.FrontendCycles += fe.FetchRun(start, blk.Instrs[i]+1)
+
+			blk.Record(i, &rec)
+			feStall, targetSquash := fe.OnControlFlow(&rec)
+			res.FrontendCycles += feStall
+			if targetSquash {
+				res.SquashCycles += uint64(cfg.SquashPenalty)
+				fe.OnSquash()
+			}
+
+			if blk.Kind[i] == trace.CondBranch {
+				res.CondExecs++
+				if miss[i] {
+					res.CondMisp++
+					res.SquashCycles += uint64(cfg.SquashPenalty)
+					fe.OnSquash()
+				}
+			}
+
+			if blk.Taken[i] {
+				prevTarget = blk.Target[i]
+			} else {
+				prevTarget = blk.PC[i] + 4
+			}
 		}
 	}
 	res.Frontend = subStats(fe.Stats, feAtMeasure)

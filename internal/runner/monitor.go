@@ -24,6 +24,9 @@ type UnitStat struct {
 	Wall time.Duration
 	// Instrs is the number of simulated instructions the unit credited.
 	Instrs uint64
+	// Records is the number of simulated branch records the unit
+	// credited — the work unit cmd/bench reports throughput in.
+	Records uint64
 }
 
 // MIPS returns the unit's own simulation throughput in million
@@ -57,6 +60,7 @@ type Monitor struct {
 
 	done     *telemetry.Counter
 	instrs   *telemetry.Counter
+	records  *telemetry.Counter
 	wallNS   *telemetry.Counter
 	expected *telemetry.Gauge
 	inflight *telemetry.Gauge
@@ -75,6 +79,7 @@ func NewMonitor(w io.Writer) *Monitor {
 		interval: renderInterval,
 		done:     telemetry.NewCounter(),
 		instrs:   telemetry.NewCounter(),
+		records:  telemetry.NewCounter(),
 		wallNS:   telemetry.NewCounter(),
 		expected: telemetry.NewGauge(),
 		inflight: telemetry.NewGauge(),
@@ -82,6 +87,7 @@ func NewMonitor(w io.Writer) *Monitor {
 	if r := telemetry.Default(); r != nil {
 		r.SetCounter("whisper_runner_units_completed_total", m.done)
 		r.SetCounter("whisper_runner_instructions_total", m.instrs)
+		r.SetCounter("whisper_runner_records_total", m.records)
 		r.SetCounter("whisper_runner_unit_wall_ns_total", m.wallNS)
 		r.SetGauge("whisper_runner_units_expected", m.expected)
 		r.SetGauge("whisper_runner_units_inflight", m.inflight)
@@ -120,6 +126,7 @@ func (m *Monitor) finish(u UnitStat) {
 	m.inflight.Add(-1)
 	m.done.Inc()
 	m.instrs.Add(u.Instrs)
+	m.records.Add(u.Records)
 	m.wallNS.Add(uint64(u.Wall))
 
 	m.mu.Lock()
@@ -131,7 +138,7 @@ func (m *Monitor) finish(u UnitStat) {
 	// Journal writes leave the monitor lock so slow sinks never stall
 	// progress rendering; the journal has its own lock.
 	if journal != nil {
-		journal.WriteUnit(u.Label, u.Wall, u.Instrs)
+		journal.WriteUnit(u.Label, u.Wall, u.Instrs, u.Records)
 	}
 }
 
@@ -204,6 +211,10 @@ func (m *Monitor) Summary() string {
 		wall.Seconds()/elapsed.Seconds())
 	fmt.Fprintf(&b, "runner: %.1fM instructions simulated, %.1f MIPS effective\n",
 		float64(instrs)/1e6, float64(instrs)/elapsed.Seconds()/1e6)
+	if records := m.records.Value(); records > 0 {
+		fmt.Fprintf(&b, "runner: %.1fM branch records simulated, %.0f records/sec effective\n",
+			float64(records)/1e6, float64(records)/elapsed.Seconds())
+	}
 	slowest := append([]UnitStat(nil), m.units...)
 	sort.SliceStable(slowest, func(i, j int) bool { return slowest[i].Wall > slowest[j].Wall })
 	if len(slowest) > 5 {

@@ -24,13 +24,19 @@ type Unit struct {
 	// (e.g. "fig13/mysql").
 	Label string
 
-	instrs uint64
+	instrs  uint64
+	records uint64
 }
 
 // AddInstrs credits simulated instructions to the unit for MIPS
 // accounting. Memoized results count too: the reported throughput is the
 // effective simulation rate, so cache hits show up as speedup.
 func (u *Unit) AddInstrs(n uint64) { u.instrs += n }
+
+// AddRecords credits simulated branch records to the unit. Records are
+// the unit of work cmd/bench reports, so crediting them here makes the
+// -timing records/sec figure directly comparable to benchmark output.
+func (u *Unit) AddRecords(n uint64) { u.records += n }
 
 // Pool executes independent units with bounded parallelism. The zero
 // value runs sequentially with no observer.
@@ -103,7 +109,7 @@ func (p *Pool) runUnit(i int, fn func(int, *Unit) error) error {
 	start := time.Now()
 	err := fn(i, u)
 	if p.Monitor != nil {
-		p.Monitor.finish(UnitStat{Label: u.Label, Wall: time.Since(start), Instrs: u.instrs})
+		p.Monitor.finish(UnitStat{Label: u.Label, Wall: time.Since(start), Instrs: u.instrs, Records: u.records})
 	}
 	return err
 }

@@ -85,6 +85,15 @@ type TageSCL struct {
 
 	// Prediction state carried from Predict to Update.
 	last lastPred
+
+	// scHash holds the per-feature SC hashes for the current
+	// prediction; fastPlan/tagPlan and fastOut/tagOut are the
+	// precompiled plans and scratch of the HashPlanned fast path.
+	scHash   []uint64
+	fastPlan *bpu.HashPlan
+	tagPlan  *bpu.HashPlan
+	fastOut  []uint64
+	tagOut   []uint64
 }
 
 type lastPred struct {
@@ -161,6 +170,14 @@ func New(cfg Config) *TageSCL {
 	t.useSC = bpu.NewCounter(4)
 	t.useAltOnNA = bpu.NewCounter(4)
 	t.last.scIdx = make([]uint64, len(t.scTables))
+	t.scHash = make([]uint64, len(t.scLens))
+	// The fast path hashes table indices and SC features in one
+	// prefix-shared pass; tags take a second pass with the tag seed.
+	fastLens := append(append([]int{}, histLens[:]...), t.scLens...)
+	t.fastPlan = bpu.MakeHashPlan(fastLens)
+	t.tagPlan = bpu.MakeHashPlan(histLens[:])
+	t.fastOut = make([]uint64, len(fastLens))
+	t.tagOut = make([]uint64, numTables)
 	return t
 }
 
@@ -209,16 +226,43 @@ func (t *TageSCL) tableTag(pc uint64, tbl int) uint16 {
 // Predict implements bpu.Predictor.
 func (t *TageSCL) Predict(pc uint64) bool {
 	lp := &t.last
+	for i := 0; i < numTables; i++ {
+		lp.idx[i] = t.tableIdx(pc, i)
+		lp.tag[i] = t.tableTag(pc, i)
+	}
+	for i, l := range t.scLens {
+		t.scHash[i] = t.hist.Hash(pc, l)
+	}
+	return t.predictCore(pc)
+}
+
+// predictFast computes the same prediction (and the same lastPred
+// metadata) as Predict, but derives every history hash through the
+// precompiled prefix-shared kernel: one bpu.HashPlanned pass for the 12
+// table indices plus the SC features, and one for the 12 tags. It is
+// the per-record body of PredictUpdateBatch.
+func (t *TageSCL) predictFast(pc uint64) bool {
+	lp := &t.last
+	t.hist.HashPlanned(pc, t.fastPlan, t.fastOut)
+	t.hist.HashPlanned(pc^0xB5297A4D3F84D5B5, t.tagPlan, t.tagOut)
+	for i := 0; i < numTables; i++ {
+		lp.idx[i] = t.fastOut[i] & t.tblMask
+		lp.tag[i] = uint16(t.tagOut[i]>>13) & 0x3FF
+	}
+	copy(t.scHash, t.fastOut[numTables:])
+	return t.predictCore(pc)
+}
+
+// predictCore runs the TAGE-SC-L decision logic over the hashes staged
+// in lp.idx, lp.tag and t.scHash by Predict or predictFast.
+func (t *TageSCL) predictCore(pc uint64) bool {
+	lp := &t.last
 	lp.pc = pc
 	lp.valid = true
 	lp.provider = -1
 	lp.loopHit = false
 	lp.scUsed = false
 
-	for i := 0; i < numTables; i++ {
-		lp.idx[i] = t.tableIdx(pc, i)
-		lp.tag[i] = t.tableTag(pc, i)
-	}
 	basePred := t.base[t.baseIdx(pc)].Taken()
 	lp.altPred = basePred
 
@@ -272,8 +316,8 @@ func (t *TageSCL) Predict(pc uint64) bool {
 	// Statistical corrector.
 	lp.scIdx[0] = (pc >> 2) & t.scMask
 	sum := int32(t.scTables[0][lp.scIdx[0]])
-	for i, l := range t.scLens {
-		idx := (t.hist.Hash(pc, l) ^ uint64(i)*0x9E3779B9) & t.scMask
+	for i := range t.scLens {
+		idx := (t.scHash[i] ^ uint64(i)*0x9E3779B9) & t.scMask
 		lp.scIdx[i+1] = idx
 		sum += int32(t.scTables[i+1][idx])
 	}
@@ -459,5 +503,17 @@ func (t *TageSCL) trainLoop(pc uint64, taken bool, lp *lastPred) {
 	le.curIter = 0
 	if le.age < 7 {
 		le.age++
+	}
+}
+
+// PredictUpdateBatch implements bpu.BatchPredictor: it is exactly
+// Predict+Update per record with the hash computation routed through
+// the prefix-shared fast kernel. Differential tests
+// (TestTagePredictBatchMatchesScalar and the pipeline/golden suites)
+// lock the equivalence.
+func (t *TageSCL) PredictUpdateBatch(pcs []uint64, taken, miss []bool) {
+	for i, pc := range pcs {
+		miss[i] = t.predictFast(pc) != taken[i]
+		t.Update(pc, taken[i])
 	}
 }

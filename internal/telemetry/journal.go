@@ -41,6 +41,7 @@ type journalLine struct {
 	Label    string    `json:"label,omitempty"`
 	WallNS   int64     `json:"wall_ns,omitempty"`
 	Instrs   uint64    `json:"instrs,omitempty"`
+	Records  uint64    `json:"records,omitempty"`
 	// Metrics is a pointer so an empty-but-present snapshot still
 	// serializes as {} (omitempty would drop an empty map).
 	Metrics *map[string]any `json:"metrics,omitempty"`
@@ -82,9 +83,10 @@ func (j *Journal) WriteManifest(m Manifest) {
 	j.write(&journalLine{Type: "manifest", Schema: JournalSchema, Manifest: &m})
 }
 
-// WriteUnit records one completed unit of work.
-func (j *Journal) WriteUnit(label string, wall time.Duration, instrs uint64) {
-	j.write(&journalLine{Type: "unit", Label: label, WallNS: int64(wall), Instrs: instrs})
+// WriteUnit records one completed unit of work. records may be zero for
+// units that predate record accounting; readers treat it as optional.
+func (j *Journal) WriteUnit(label string, wall time.Duration, instrs, records uint64) {
+	j.write(&journalLine{Type: "unit", Label: label, WallNS: int64(wall), Instrs: instrs, Records: records})
 }
 
 // WriteSnapshot records the final aggregate state of r; call it once,

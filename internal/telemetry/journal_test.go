@@ -17,7 +17,7 @@ func writeValidJournal(n int) string {
 	r := NewRegistry()
 	for i := 0; i < n; i++ {
 		r.Counter("whisper_runner_instructions_total").Add(100)
-		j.WriteUnit("phase/app", time.Millisecond, 100)
+		j.WriteUnit("phase/app", time.Millisecond, 100, 40)
 	}
 	j.WriteSnapshot(r)
 	return b.String()
@@ -53,7 +53,7 @@ func TestJournalRoundTrip(t *testing.T) {
 func TestJournalNil(t *testing.T) {
 	var j *Journal
 	j.WriteManifest(Manifest{})
-	j.WriteUnit("x", 0, 0)
+	j.WriteUnit("x", 0, 0, 0)
 	j.WriteSnapshot(nil)
 	if j.Err() != nil {
 		t.Fatal("nil journal reported an error")
@@ -76,7 +76,7 @@ func TestJournalConcurrentUnits(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				j.WriteUnit("u", time.Microsecond, 1)
+				j.WriteUnit("u", time.Microsecond, 1, 1)
 			}
 		}()
 	}

@@ -561,6 +561,37 @@ func (g *generator) Next(rec *trace.Record) bool {
 	return true
 }
 
+// FillBlock implements trace.BlockFiller: it drains whole invocation
+// queues into the block, so the batched pipeline receives records
+// without a Next call (and its bounds checks and copy) per record.
+func (g *generator) FillBlock(b *trace.Block) int {
+	b.Reset()
+	for g.remaining > 0 && b.N < b.Cap() {
+		for g.qpos >= len(g.queue) {
+			g.fillQueue()
+		}
+		n := len(g.queue) - g.qpos
+		if n > g.remaining {
+			n = g.remaining
+		}
+		if room := b.Cap() - b.N; n > room {
+			n = room
+		}
+		for _, rec := range g.queue[g.qpos : g.qpos+n] {
+			i := b.N
+			b.PC[i] = rec.PC
+			b.Target[i] = rec.Target
+			b.Kind[i] = rec.Kind
+			b.Taken[i] = rec.Taken
+			b.Instrs[i] = rec.Instrs
+			b.N = i + 1
+		}
+		g.qpos += n
+		g.remaining -= n
+	}
+	return b.N
+}
+
 // fillQueue synthesizes one function invocation worth of records.
 func (g *generator) fillQueue() {
 	g.queue = g.queue[:0]

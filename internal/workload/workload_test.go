@@ -338,3 +338,37 @@ func BenchmarkStream(b *testing.B) {
 }
 
 var _ = xrand.New // keep import if unused in some builds
+
+// TestFillBlockMatchesNext locks the generator's block producer to the
+// per-record Next protocol: identical records in identical order,
+// across block sizes that do and do not divide the record count.
+func TestFillBlockMatchesNext(t *testing.T) {
+	for _, appName := range []string{"mysql", "kafka"} {
+		a := DataCenterApp(appName)
+		if a == nil {
+			t.Fatalf("app %s missing", appName)
+		}
+		const records = 10007
+		want := trace.Collect(a.Stream(3, records), records+1)
+		for _, bs := range []int{1, 7, 4096} {
+			s := a.Stream(3, records)
+			f, ok := s.(trace.BlockFiller)
+			if !ok {
+				t.Fatal("generator does not implement trace.BlockFiller")
+			}
+			b := trace.NewBlock(bs)
+			var got []trace.Record
+			for f.FillBlock(b) > 0 {
+				got = append(got, b.Records()...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s block=%d: %d records, want %d", appName, bs, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s block=%d: record %d differs: %+v != %+v", appName, bs, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

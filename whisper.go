@@ -2,19 +2,24 @@
 // Profile-Guided Branch Misprediction Elimination for Data Center
 // Applications" (Khan et al., MICRO 2022).
 //
-// The package re-exports the pieces a downstream user needs to run the
+// The package exports the pieces a downstream user needs to run the
 // full usage model of the paper's Fig 10:
 //
 //  1. pick or synthesize an application workload (Apps, NewApp),
 //  2. profile it in "production" under a deployed predictor and train
-//     Whisper hints offline (Optimize),
-//  3. evaluate the updated binary on another input against the baseline
+//     Whisper hints offline (Optimize, configured with functional
+//     options: WithParams, WithPredictor, WithTelemetry, ...),
+//  3. persist the profile or trained hints between those stages
+//     (Save, Load),
+//  4. evaluate the updated binary on another input against the baseline
 //     (Build.Evaluate), and
-//  4. reproduce any of the paper's tables and figures (the Experiments
-//     aliases, or the cmd/experiments binary).
+//  5. reproduce any of the paper's tables and figures (the
+//     cmd/experiments binary).
 //
-// Implementation packages live under internal/; the aliases here are the
-// supported surface.
+// Implementation packages live under internal/; the exports here are the
+// supported surface. The v1 entry points (bare BuildOptions, the
+// package-level Evaluate/EvaluateWith/Measure) remain as thin deprecated
+// wrappers, so both API generations compile side by side.
 package whisper
 
 import (
@@ -23,7 +28,9 @@ import (
 	"github.com/whisper-sim/whisper/internal/mtage"
 	"github.com/whisper-sim/whisper/internal/pipeline"
 	"github.com/whisper-sim/whisper/internal/sim"
+	"github.com/whisper-sim/whisper/internal/store"
 	"github.com/whisper-sim/whisper/internal/tage"
+	"github.com/whisper-sim/whisper/internal/telemetry"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
 
@@ -39,21 +46,23 @@ type Mix = workload.Mix
 // Params are Whisper's design parameters (paper Table III).
 type Params = core.Params
 
-// Build is the output of the offline flow: profile, trained hints,
-// dynamic CFG, and the updated binary.
-type Build = sim.WhisperBuild
-
 // Result is a simulation result with IPC/MPKI accessors.
 type Result = pipeline.Result
 
 // Predictor is a conditional branch direction predictor.
 type Predictor = bpu.Predictor
 
-// BuildOptions parameterize Optimize.
-type BuildOptions = sim.BuildOptions
-
 // MachineConfig is the simulated machine (paper Table II).
 type MachineConfig = pipeline.Config
+
+// Registry is a metrics registry: counters, gauges and histograms with
+// Prometheus-text and snapshot renderings. Pass one to Optimize via
+// WithTelemetry to observe a run's pipeline and cache activity without
+// touching the process-wide default.
+type Registry = telemetry.Registry
+
+// NewRegistry returns an empty metrics registry for WithTelemetry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
 
 // NewApp synthesizes an application from a configuration.
 func NewApp(cfg AppConfig) (*App, error) { return workload.New(cfg) }
@@ -70,10 +79,6 @@ func SpecApps() []*App { return workload.SpecApps() }
 // DefaultParams returns the paper's Table III parameters.
 func DefaultParams() Params { return core.DefaultParams() }
 
-// DefaultBuildOptions mirrors the paper's setup: profile input #0 under a
-// 64KB TAGE-SC-L with the Table III parameters.
-func DefaultBuildOptions() BuildOptions { return sim.DefaultBuildOptions() }
-
 // DefaultMachine returns the Table II machine model.
 func DefaultMachine() MachineConfig { return pipeline.DefaultConfig() }
 
@@ -87,11 +92,151 @@ func NewMTageSC() Predictor { return mtage.New() }
 // NewOracle builds the ideal direction predictor of the limit study.
 func NewOracle() Predictor { return &bpu.Oracle{} }
 
+// --- options ----------------------------------------------------------
+
+// config is everything Optimize captures: the offline build stage's
+// options plus the evaluation defaults the returned Build reuses.
+type config struct {
+	build   sim.BuildOptions
+	machine pipeline.Config
+	warmup  float64
+	block   int
+	metrics *telemetry.Registry
+}
+
+func defaultConfig() config {
+	return config{
+		build:   sim.DefaultBuildOptions(),
+		machine: pipeline.DefaultConfig(),
+		warmup:  0.3,
+	}
+}
+
+// Option configures Optimize and the evaluations of the Build it
+// returns. Options compose left to right; later options win.
+type Option interface {
+	apply(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithParams overrides Whisper's design parameters (paper Table III).
+func WithParams(p Params) Option {
+	return optionFunc(func(c *config) { c.build.Params = p })
+}
+
+// WithPredictor sets the baseline predictor factory: the predictor
+// profiled in production, deployed underneath the Whisper runtime, and
+// measured standalone by Build.Evaluate. The default is the paper's
+// 64KB TAGE-SC-L.
+func WithPredictor(baseline func() Predictor) Option {
+	return optionFunc(func(c *config) { c.build.Baseline = sim.PredictorFactory(baseline) })
+}
+
+// WithTrainInput selects the workload input profiled in production
+// (paper §V-A: optimize with one input, test with another; default #0).
+func WithTrainInput(input int) Option {
+	return optionFunc(func(c *config) { c.build.TrainInput = input })
+}
+
+// WithRecords sets the profiled window length in trace records, and the
+// default evaluation window of Build.Evaluate.
+func WithRecords(n int) Option {
+	return optionFunc(func(c *config) { c.build.Records = n })
+}
+
+// WithMachine overrides the simulated machine (paper Table II) used by
+// Build.Evaluate.
+func WithMachine(m MachineConfig) Option {
+	return optionFunc(func(c *config) { c.machine = m })
+}
+
+// WithWarmup sets the fraction of evaluation records used to warm
+// predictors and frontend structures before measuring (default 0.3).
+func WithWarmup(frac float64) Option {
+	return optionFunc(func(c *config) { c.warmup = frac })
+}
+
+// WithBlockSize selects the pipeline's record-block granularity for
+// evaluations: 0 (the default) runs the batched engine at its default
+// block size, positive values set an explicit size, and negative values
+// force the scalar reference loop. Results are bit-identical at every
+// setting; this is a performance/debugging knob.
+func WithBlockSize(n int) Option {
+	return optionFunc(func(c *config) { c.block = n })
+}
+
+// WithTelemetry routes the run's metrics (pipeline spans, cache
+// counters, runner series) into r for the duration of Optimize and of
+// each Build.Evaluate call. The registry can then be snapshotted or
+// rendered as Prometheus text. Not safe to combine with concurrent runs
+// that use a different registry.
+func WithTelemetry(r *Registry) Option {
+	return optionFunc(func(c *config) { c.metrics = r })
+}
+
+// BuildOptions parameterize Optimize as one plain struct.
+//
+// Deprecated: this is the v1 configuration surface. It still compiles —
+// the struct implements Option by replacing the build stage's
+// configuration wholesale — but new code should pass functional options
+// (WithRecords, WithParams, WithPredictor, ...) to Optimize directly.
+type BuildOptions sim.BuildOptions
+
+func (o BuildOptions) apply(c *config) { c.build = sim.BuildOptions(o) }
+
+// DefaultBuildOptions mirrors the paper's setup: profile input #0 under a
+// 64KB TAGE-SC-L with the Table III parameters.
+//
+// Deprecated: Optimize applies these defaults on its own; only v1-style
+// callers that mutate BuildOptions fields need this constructor.
+func DefaultBuildOptions() BuildOptions { return BuildOptions(sim.DefaultBuildOptions()) }
+
+// installMetrics swaps r in as the process metrics registry and returns
+// the restore function (a no-op for nil).
+func installMetrics(r *telemetry.Registry) func() {
+	if r == nil {
+		return func() {}
+	}
+	prev := telemetry.Default()
+	telemetry.Install(r)
+	return func() { telemetry.Install(prev) }
+}
+
+// --- the offline flow -------------------------------------------------
+
+// Build is the output of the offline flow: the production profile, the
+// trained hints, the dynamic CFG, and the updated binary, plus the
+// evaluation configuration captured at Optimize time.
+type Build struct {
+	sim.WhisperBuild
+
+	app *App
+	cfg config
+}
+
 // Optimize runs the full offline flow for one application: in-production
 // profiling, Algorithm 1 training with hashed history correlation and
 // randomized formula testing, and link-time brhint injection.
-func Optimize(app *App, opt BuildOptions) (*Build, error) {
-	return sim.BuildWhisper(app, opt)
+//
+// With no options it mirrors the paper's setup (input #0, 64KB
+// TAGE-SC-L, Table III parameters).
+func Optimize(app *App, opts ...Option) (*Build, error) {
+	c := defaultConfig()
+	for _, o := range opts {
+		if o != nil {
+			o.apply(&c)
+		}
+	}
+	restore := installMetrics(c.metrics)
+	defer restore()
+	wb, err := sim.BuildWhisper(app, c.build)
+	if err != nil {
+		return nil, err
+	}
+	return &Build{WhisperBuild: *wb, app: app, cfg: c}, nil
 }
 
 // Evaluation compares the Whisper-updated binary against the baseline on
@@ -109,28 +254,30 @@ func (e *Evaluation) Reduction() float64 { return sim.MispReduction(e.Baseline, 
 // Speedup returns the IPC improvement fraction.
 func (e *Evaluation) Speedup() float64 { return sim.Speedup(e.Baseline, e.Whisper) }
 
-// Evaluate measures a build on the given input with records records and
-// warmupFrac of them used to warm structures before measuring. The
-// baseline (and the predictor underneath Whisper) is the paper's 64KB
-// TAGE-SC-L; use EvaluateWith for other baselines.
-func Evaluate(b *Build, app *App, input, records int, warmupFrac float64) *Evaluation {
-	return EvaluateWith(b, app, input, records, warmupFrac, nil)
-}
-
-// EvaluateWith is Evaluate with a custom baseline predictor factory (used
-// both standalone and underneath the Whisper runtime). A nil factory
-// selects the 64KB TAGE-SC-L.
-func EvaluateWith(b *Build, app *App, input, records int, warmupFrac float64, baseline func() Predictor) *Evaluation {
+// Evaluate measures the updated binary against the baseline on the
+// given workload input (paper Fig 10 step 3: deploy the optimized
+// binary and test on an input the profile never saw), using the
+// configuration captured at Optimize time — baseline predictor,
+// machine model, warmup fraction, block size, and telemetry registry.
+// records <= 0 reuses the training window length.
+func (b *Build) Evaluate(input, records int) *Evaluation {
+	c := b.cfg
+	if records <= 0 {
+		records = c.build.Records
+	}
 	factory := sim.PredictorFactory(sim.Tage64KB)
-	if baseline != nil {
-		factory = sim.PredictorFactory(baseline)
+	if c.build.Baseline != nil {
+		factory = c.build.Baseline
 	}
 	popt := pipeline.Options{
-		Config:        pipeline.DefaultConfig(),
-		WarmupRecords: uint64(float64(records) * warmupFrac),
+		Config:        c.machine,
+		WarmupRecords: uint64(float64(records) * c.warmup),
+		BlockSize:     c.block,
 	}
-	base := sim.RunApp(app, input, records, factory(), popt)
-	res, rt := b.RunWhisperWarm(app, input, records, factory, popt)
+	restore := installMetrics(c.metrics)
+	defer restore()
+	base := sim.RunApp(b.app, input, records, factory(), popt)
+	res, rt := b.RunWhisperWarm(b.app, input, records, factory, popt)
 	return &Evaluation{
 		Baseline:        base,
 		Whisper:         res,
@@ -139,8 +286,80 @@ func EvaluateWith(b *Build, app *App, input, records int, warmupFrac float64, ba
 	}
 }
 
+// --- artifacts --------------------------------------------------------
+
+// Artifact is a versioned on-disk bundle: window metadata plus a profile
+// snapshot and/or a trained hint bundle (see internal/store for the
+// format).
+type Artifact = store.Artifact
+
+// ArtifactMeta identifies the workload window an artifact covers.
+type ArtifactMeta = store.Meta
+
+// Save persists a build's profile and trained hint bundle as one
+// artifact file. This is the durability the paper's Fig 10 deployment
+// model needs: the profile is collected on the production fleet
+// (step 1), training runs offline elsewhere (step 2), and only the
+// trained hints ship to the link step (step 3) — each arrow in that
+// diagram is an artifact crossing a process or machine boundary.
+// Artifacts are CRC-checked and versioned; Load rejects damage with
+// typed errors instead of consuming garbage.
+func Save(path string, b *Build) error {
+	return store.WriteFile(path, &Artifact{
+		Meta: ArtifactMeta{
+			App:     b.app.Name(),
+			Input:   b.cfg.build.TrainInput,
+			Records: b.cfg.build.Records,
+		},
+		Profile:      b.Profile,
+		Train:        b.Train,
+		WindowInstrs: b.Profile.Instrs,
+	})
+}
+
+// Load reads an artifact written by Save (or by the whisper CLI's
+// staged profile/train/apply flow — same format). The profile side can
+// be retrained with different parameters; the hint side can be
+// re-injected into a binary without the profile (Fig 10's
+// "apply-only" arrow).
+func Load(path string) (*Artifact, error) { return store.ReadFile(path) }
+
+// --- deprecated v1 evaluation surface ---------------------------------
+
+// Evaluate measures a build on the given input with records records and
+// warmupFrac of them used to warm structures before measuring. The
+// baseline (and the predictor underneath Whisper) is the paper's 64KB
+// TAGE-SC-L; use EvaluateWith for other baselines.
+//
+// Deprecated: use the Build.Evaluate method, which reuses the baseline,
+// machine and warmup configured at Optimize time.
+func Evaluate(b *Build, app *App, input, records int, warmupFrac float64) *Evaluation {
+	return EvaluateWith(b, app, input, records, warmupFrac, nil)
+}
+
+// EvaluateWith is Evaluate with a custom baseline predictor factory (used
+// both standalone and underneath the Whisper runtime). A nil factory
+// selects the 64KB TAGE-SC-L.
+//
+// Deprecated: pass WithPredictor to Optimize and use Build.Evaluate.
+func EvaluateWith(b *Build, app *App, input, records int, warmupFrac float64, baseline func() Predictor) *Evaluation {
+	eb := *b
+	eb.app = app
+	eb.cfg.warmup = warmupFrac
+	eb.cfg.build.Records = records
+	if baseline != nil {
+		eb.cfg.build.Baseline = sim.PredictorFactory(baseline)
+	} else {
+		eb.cfg.build.Baseline = sim.Tage64KB
+	}
+	return eb.Evaluate(input, records)
+}
+
 // Measure runs any predictor over an application input and returns the
 // pipeline result (IPC, MPKI, cycle attribution).
+//
+// Deprecated: v1 surface, kept for compatibility; it is a thin wrapper
+// over the internal simulator with the default machine.
 func Measure(app *App, input, records int, pred Predictor, warmupFrac float64) Result {
 	return sim.RunApp(app, input, records, pred, pipeline.Options{
 		Config:        pipeline.DefaultConfig(),

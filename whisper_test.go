@@ -1,6 +1,104 @@
 package whisper
 
-import "testing"
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestOptionsAPIEndToEnd drives the v2 surface: functional options into
+// Optimize, the Build.Evaluate method, a telemetry registry capturing
+// the run, and a Save/Load artifact round trip.
+func TestOptionsAPIEndToEnd(t *testing.T) {
+	app := AppByName("mysql")
+	reg := NewRegistry()
+	b, err := Optimize(app,
+		WithRecords(120000),
+		WithParams(DefaultParams()),
+		WithPredictor(func() Predictor { return NewTageSCL(64) }),
+		WithWarmup(0.3),
+		WithMachine(DefaultMachine()),
+		WithTelemetry(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := b.Evaluate(1, 0) // records <= 0 reuses the training window
+	if ev.Reduction() <= 0 {
+		t.Fatalf("v2 reduction %v", ev.Reduction())
+	}
+	if total := ev.Baseline.Records + ev.Baseline.WarmupRecords; total != 120000 {
+		t.Fatalf("default evaluation window %d, want training window", total)
+	}
+	if len(reg.Snapshot()) == 0 {
+		t.Fatal("WithTelemetry registry captured nothing")
+	}
+
+	path := filepath.Join(t.TempDir(), "mysql.wspa")
+	if err := Save(path, b); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Meta.App != "mysql" || a.Meta.Records != 120000 {
+		t.Fatalf("artifact meta %+v", a.Meta)
+	}
+	if a.Profile == nil || !reflect.DeepEqual(a.Train.Hints, b.Train.Hints) {
+		t.Fatal("artifact round trip lost the profile or hints")
+	}
+}
+
+// TestOptionsMatchV1 locks the compatibility contract: the same
+// configuration expressed through v1 BuildOptions and through v2
+// functional options produces bit-identical builds and evaluations.
+func TestOptionsMatchV1(t *testing.T) {
+	app := AppByName("kafka")
+	const n = 60000
+
+	opt := DefaultBuildOptions()
+	opt.Records = n
+	v1, err := Optimize(app, opt) // BuildOptions itself is an Option
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Optimize(app, WithRecords(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v1.Train.Hints, v2.Train.Hints) {
+		t.Fatal("v1 and v2 builds diverge")
+	}
+	e1 := Evaluate(v1, app, 1, n, 0.3)
+	e2 := v2.Evaluate(1, n)
+	if e1.Baseline != e2.Baseline || e1.Whisper != e2.Whisper {
+		t.Fatalf("v1 evaluation %+v != v2 %+v", e1, e2)
+	}
+}
+
+// TestBlockSizeOptionInvariance: WithBlockSize must not change a single
+// counter of the evaluation (the engine-equivalence guarantee surfaced
+// at the API level).
+func TestBlockSizeOptionInvariance(t *testing.T) {
+	app := AppByName("drupal")
+	const n = 60000
+	want, err := Optimize(app, WithRecords(n), WithBlockSize(-1)) // scalar reference
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := want.Evaluate(1, n)
+	for _, bs := range []int{0, 1, 7} {
+		b, err := Optimize(app, WithRecords(n), WithBlockSize(bs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := b.Evaluate(1, n)
+		if ev.Baseline != ref.Baseline || ev.Whisper != ref.Whisper {
+			t.Fatalf("block %d: evaluation diverged from scalar reference", bs)
+		}
+	}
+}
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	app := AppByName("mysql")
