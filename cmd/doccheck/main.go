@@ -1,0 +1,133 @@
+// Command doccheck validates the repository's markdown cross-links:
+//
+//	doccheck README.md docs
+//
+// Each argument is a markdown file or a directory (walked for *.md).
+// Every inline link or image whose target is a relative path must
+// resolve to an existing file or directory; fragments (#section) are
+// stripped before the check, pure-fragment and external (scheme:) links
+// are skipped. CI runs it over README.md and docs/ so a renamed or
+// deleted file cannot leave dangling references behind.
+package main
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// linkRe matches inline markdown links and images: [text](target) and
+// ![alt](target). Nested brackets in the text are out of scope — the
+// repository's docs don't use them.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// run checks every markdown file reachable from args and returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: doccheck FILE|DIR...")
+		return 2
+	}
+	files, err := collect(args)
+	if err != nil {
+		fmt.Fprintf(stderr, "doccheck: %v\n", err)
+		return 2
+	}
+	var broken []string
+	links := 0
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "doccheck: %v\n", err)
+			return 2
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target, ok := relativeTarget(m[1])
+				if !ok {
+					continue
+				}
+				links++
+				resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (%s does not exist)",
+						path, lineNo+1, m[1], resolved))
+				}
+			}
+		}
+	}
+	for _, b := range broken {
+		fmt.Fprintln(stderr, b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(stderr, "doccheck: %d broken link(s) in %d file(s)\n", len(broken), len(files))
+		return 1
+	}
+	fmt.Fprintf(stdout, "doccheck: %d file(s), %d relative link(s), all resolve\n", len(files), links)
+	return 0
+}
+
+// relativeTarget reports whether a link target is a checkable relative
+// path, returning it with any fragment stripped.
+func relativeTarget(target string) (string, bool) {
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		return "", false // pure fragment: same-file section link
+	}
+	if u, err := url.Parse(target); err == nil && (u.Scheme != "" || u.Host != "") {
+		return "", false // external: http(s), mailto, ...
+	}
+	if strings.HasPrefix(target, "/") {
+		return "", false // site-absolute: nothing to resolve locally
+	}
+	return target, true
+}
+
+// collect expands the argument list into a sorted, de-duplicated set of
+// markdown files; directories are walked recursively.
+func collect(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var files []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			files = append(files, p)
+		}
+	}
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			add(arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.EqualFold(filepath.Ext(p), ".md") {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "README.md"), `
+See [the docs](docs/guide.md#setup), [an image](img/logo.png),
+[external](https://example.com/x.md), [mail](mailto:a@b.c),
+[section](#local), and [site](/absolute/path.md).
+`)
+	write(t, filepath.Join(dir, "docs", "guide.md"), "[back](../README.md)\n")
+	write(t, filepath.Join(dir, "img", "logo.png"), "png")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{filepath.Join(dir, "README.md"), filepath.Join(dir, "docs")}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	// Only the two real relative links count; external/fragment/absolute
+	// targets are skipped.
+	if !strings.Contains(stdout.String(), "3 relative link(s)") {
+		t.Fatalf("unexpected summary: %s", stdout.String())
+	}
+}
+
+func TestBrokenLinkFails(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"), "line one\n[gone](missing.md)\n")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "a.md:2") || !strings.Contains(stderr.String(), "missing.md") {
+		t.Fatalf("unhelpful report: %s", stderr.String())
+	}
+}
+
+func TestDirectoryWalkFindsNestedMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "docs", "deep", "x.md"), "[bad](nope.md)\n")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, stderr.String())
+	}
+}
+
+func TestUsageAndMissingArg(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "ghost.md")}, &stdout, &stderr); code != 2 {
+		t.Fatal("missing argument should exit 2")
+	}
+}

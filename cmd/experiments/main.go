@@ -48,6 +48,7 @@ import (
 	"github.com/whisper-sim/whisper/internal/experiments"
 	"github.com/whisper-sim/whisper/internal/plot"
 	"github.com/whisper-sim/whisper/internal/runner"
+	"github.com/whisper-sim/whisper/internal/spec"
 	"github.com/whisper-sim/whisper/internal/stats"
 	"github.com/whisper-sim/whisper/internal/store"
 	"github.com/whisper-sim/whisper/internal/telemetry"
@@ -67,6 +68,9 @@ type config struct {
 	scaleName string
 	journal   string
 	debugAddr string
+	specPath  string
+	validate  bool
+	scenario  *spec.Scenario
 }
 
 // run reports whether the experiment id is selected (-only empty means
@@ -92,6 +96,8 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	noCacheFlag := fs.Bool("no-cache", false, "disable the on-disk profile/hint cache")
 	journalFlag := fs.String("journal", "", "write a JSONL run journal (manifest, per-unit events, final snapshot) to this file")
 	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+	specFlag := fs.String("spec", "", "run a declarative workload spec (YAML/JSON; see docs/specs.md) instead of the paper suite")
+	validateFlag := fs.Bool("validate", false, "with -spec: parse, compile and summarize the spec without simulating")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -147,6 +153,26 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 			c.only[strings.ToLower(strings.TrimSpace(id))] = true
 		}
 	}
+
+	if *validateFlag && *specFlag == "" {
+		return nil, fmt.Errorf("-validate requires -spec")
+	}
+	if *specFlag != "" {
+		if *appsFlag != "" {
+			return nil, fmt.Errorf("-spec and -apps conflict: the spec's mix selects the applications")
+		}
+		s, err := spec.Load(*specFlag)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := spec.Compile(s)
+		if err != nil {
+			return nil, err
+		}
+		c.specPath = *specFlag
+		c.validate = *validateFlag
+		c.scenario = sc
+	}
 	return c, nil
 }
 
@@ -192,19 +218,34 @@ func (c *config) manifest() telemetry.Manifest {
 		only = append(only, id)
 	}
 	sort.Strings(only)
+	cfg := map[string]any{
+		"scale":   c.scaleName,
+		"records": c.opt.Records,
+		"apps":    apps,
+		"only":    only,
+		"cache":   !c.noCache,
+	}
+	if c.scenario != nil {
+		cfg["spec"] = c.scenario.Name()
+		cfg["spec_hash"] = c.scenario.Hash()
+		cfg["apps"] = appListNames(c.scenario)
+	}
 	return telemetry.Manifest{
 		Tool:       "experiments",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    c.opt.Parallelism,
-		Config: map[string]any{
-			"scale":   c.scaleName,
-			"records": c.opt.Records,
-			"apps":    apps,
-			"only":    only,
-			"cache":   !c.noCache,
-		},
+		Config:     cfg,
 	}
+}
+
+// appListNames lists the scenario's resolved application names.
+func appListNames(sc *spec.Scenario) []string {
+	var names []string
+	for _, a := range sc.WorkloadApps() {
+		names = append(names, a.Name())
+	}
+	return names
 }
 
 // run executes the selected suite and returns the process exit code.
@@ -314,6 +355,45 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		emit(t)
 		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	// -spec replaces the paper suite with the scenario drivers: a
+	// summary of the compiled timeline, the per-phase Whisper/TAGE
+	// comparison, and the hint-staleness study. -validate stops after
+	// the summary (no simulation), which is what CI runs over every
+	// example spec.
+	if sc := c.scenario; sc != nil {
+		timed("spec", func() (*stats.Table, error) { return experiments.SpecSummary(sc), nil })
+		if !c.validate {
+			timed("phases", func() (*stats.Table, error) {
+				r, err := experiments.SpecPhases(opt, sc)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			})
+			timed("staleness", func() (*stats.Table, error) {
+				r, err := experiments.Staleness(opt, sc)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			})
+		}
+		if mon != nil {
+			mon.Done()
+		}
+		if c.timing {
+			if mon != nil {
+				fmt.Fprintln(stderr, mon.Summary())
+			}
+			if opt.Cache != nil {
+				s := opt.Cache.Stats()
+				fmt.Fprintf(stderr, "disk cache (%s): profiles %d hits / %d misses, trains %d hits / %d misses, %d rejected\n",
+					opt.Cache.Dir(), s.ProfileHits, s.ProfileMisses, s.TrainHits, s.TrainMisses, s.Rejected)
+			}
+		}
+		return 0
 	}
 
 	timed("table1", func() (*stats.Table, error) { return experiments.TableI(), nil })

@@ -267,6 +267,7 @@ func resetMemos() {
 	profileMemo.Reset()
 	trainMemo.Reset()
 	buildMemo.Reset()
+	resetSpecMemos()
 }
 
 // collectProfile collects (or recalls) a profile of app's (input,

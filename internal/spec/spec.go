@@ -1,0 +1,744 @@
+// Package spec loads declarative workload scenarios — named application
+// mixes with weights, arrival processes, ordered phases, and parametric
+// drift schedules — and compiles them into the deterministic
+// trace.Record streams the rest of the repository consumes.
+//
+// A spec is a YAML (subset; see yaml.go) or JSON file describing *what*
+// traffic looks like, not how to synthesize it: which catalog
+// applications participate and with what weights, how bursty the
+// interleaving is, how the workload changes over time (ordered phases),
+// and how behaviour drifts inside a phase (input ramps, abrupt flips,
+// diurnal cycles). Compile resolves it against the internal/workload
+// catalog into a Scenario whose record streams replay byte-identically
+// on every host, at any parallelism, from a seed-derivation scheme
+// documented in docs/specs.md.
+//
+// The same validated spec always produces the same canonical string and
+// therefore the same content hash, regardless of YAML formatting,
+// comments, or key order — which is what lets experiment drivers use
+// the hash as a disk-cache key.
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Arrival processes.
+const (
+	// ArrivalSteady emits fixed-length bursts; the app for each burst
+	// is a weighted draw.
+	ArrivalSteady = "steady"
+	// ArrivalPoisson draws geometrically distributed burst lengths
+	// (mean Burst), modeling memoryless arrivals.
+	ArrivalPoisson = "poisson"
+	// ArrivalBursty draws geometric burst lengths and sticks with the
+	// current app with probability Stickiness, producing long dwell
+	// periods on one app.
+	ArrivalBursty = "bursty"
+)
+
+// Drift kinds.
+const (
+	// DriftNone holds the phase input constant.
+	DriftNone = "none"
+	// DriftRamp moves the input linearly from From to To across the
+	// phase (gradual behaviour drift).
+	DriftRamp = "ramp"
+	// DriftFlip switches the input abruptly from From to To at
+	// fraction At of the phase.
+	DriftFlip = "flip"
+	// DriftDiurnal cycles the input From→To→From as a triangle wave
+	// with the given Period in records.
+	DriftDiurnal = "diurnal"
+)
+
+// MixEntry weights one catalog application inside a mix.
+type MixEntry struct {
+	// App is a workload catalog name ("mysql", "kafka", ..., or
+	// "spec-gcc" for the SPEC-like family).
+	App string
+	// Weight is the relative share of records; entries are normalized
+	// over the mix. Defaults to 1.
+	Weight float64
+}
+
+// Arrival describes how the interleaver schedules bursts of records.
+type Arrival struct {
+	// Process is one of ArrivalSteady, ArrivalPoisson, ArrivalBursty.
+	Process string
+	// Burst is the (mean) records per scheduling decision. Default 64.
+	Burst int
+	// Stickiness is the probability a bursty process stays on the
+	// current app at each decision. Only valid for ArrivalBursty;
+	// default 0.9.
+	Stickiness float64
+}
+
+// Drift is a parametric schedule moving a phase through its apps' input
+// variants over time.
+type Drift struct {
+	// Kind is one of DriftNone, DriftRamp, DriftFlip, DriftDiurnal.
+	Kind string
+	// From is the input at the phase start; defaults to the phase's
+	// Input.
+	From int
+	// To is the destination input (ramp/flip) or the far extreme
+	// (diurnal).
+	To int
+	// At is the flip point as a fraction of the phase in (0, 1);
+	// flip only, default 0.5.
+	At float64
+	// Period is the cycle length in records; diurnal only.
+	Period int
+}
+
+// Phase is one ordered segment of the scenario timeline.
+type Phase struct {
+	// Name labels the phase in tables and journals; unique per spec.
+	Name string
+	// Records is the phase length; defaults to the spec-level Records.
+	Records int
+	// Start is the optional absolute record offset of the phase; when
+	// set it must equal the running total of the preceding phases
+	// (validation catches overlaps and gaps).
+	Start int
+	// Input is the base workload input variant. Default 0.
+	Input int
+	// Mix overrides the spec-level mix for this phase.
+	Mix []MixEntry
+	// Arrival overrides the spec-level arrival process.
+	Arrival *Arrival
+	// Drift is the in-phase drift schedule. Default none.
+	Drift Drift
+
+	startSet bool
+}
+
+// Staleness parameterizes the staleness experiment driver.
+type Staleness struct {
+	// Cadences lists retraining cadences in phases: hints applied at
+	// phase p were trained at phase p-(p mod c). Cadence 0 trains once
+	// at phase 0 and never retrains. Default [0, 1, 2, 4].
+	Cadences []int
+}
+
+// Spec is a parsed and validated workload specification.
+type Spec struct {
+	// Name identifies the scenario; required.
+	Name string
+	// Description is free documentation text, not part of the hash.
+	Description string
+	// Seed is the root seed every derived stream seed flows from.
+	// Defaults to an FNV-1a hash of Name. Must fit in 53 bits (both
+	// accepted source formats carry numbers as float64).
+	Seed uint64
+	// Records is the default per-phase record budget.
+	Records int
+	// Mix is the default application mix.
+	Mix []MixEntry
+	// Arrival is the default arrival process.
+	Arrival Arrival
+	// Phases is the ordered timeline; an absent phases list means one
+	// "main" phase with the spec-level defaults.
+	Phases []Phase
+	// Staleness configures the staleness driver.
+	Staleness Staleness
+}
+
+// Load reads, parses and validates a spec file. Files ending in .json
+// parse as JSON; everything else as the YAML subset.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	format := "yaml"
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		format = "json"
+	}
+	s, err := Parse(data, format)
+	if err != nil {
+		return nil, fmt.Errorf("spec %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse decodes and validates spec source. format is "yaml" or "json".
+func Parse(data []byte, format string) (*Spec, error) {
+	var v any
+	switch format {
+	case "json":
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, fmt.Errorf("spec: bad JSON: %w", err)
+		}
+	case "yaml":
+		var err error
+		v, err = parseYAML(data)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("spec: unknown format %q", format)
+	}
+	s, err := decodeSpec(v)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- strict generic decoding ------------------------------------------
+
+// dec walks the generic (map/slice/scalar) tree with path-labelled
+// errors and unknown-field rejection.
+type dec struct {
+	path string
+	m    map[string]any
+	seen map[string]bool
+}
+
+func newDec(path string, v any) (*dec, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("spec: %s: expected a mapping, got %T", path, v)
+	}
+	return &dec{path: path, m: m, seen: map[string]bool{}}, nil
+}
+
+// done errors on any field the caller never consumed.
+func (d *dec) done() error {
+	var unknown []string
+	for k := range d.m {
+		if !d.seen[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	return fmt.Errorf("spec: %s: unknown field %q", d.path, unknown[0])
+}
+
+func (d *dec) get(key string) (any, bool) {
+	v, ok := d.m[key]
+	d.seen[key] = true
+	return v, ok
+}
+
+func (d *dec) str(key, def string) (string, error) {
+	v, ok := d.get(key)
+	if !ok || v == nil {
+		return def, nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("spec: %s.%s: expected a string, got %v", d.path, key, v)
+	}
+	return s, nil
+}
+
+func (d *dec) intField(key string, def int) (int, error) {
+	v, ok := d.get(key)
+	if !ok || v == nil {
+		return def, nil
+	}
+	f, ok := v.(float64)
+	if !ok || f != float64(int64(f)) {
+		return 0, fmt.Errorf("spec: %s.%s: expected an integer, got %v", d.path, key, v)
+	}
+	return int(f), nil
+}
+
+func (d *dec) floatField(key string, def float64) (float64, error) {
+	v, ok := d.get(key)
+	if !ok || v == nil {
+		return def, nil
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, fmt.Errorf("spec: %s.%s: expected a number, got %v", d.path, key, v)
+	}
+	return f, nil
+}
+
+func (d *dec) seqField(key string) ([]any, bool, error) {
+	v, ok := d.get(key)
+	if !ok || v == nil {
+		return nil, false, nil
+	}
+	seq, ok := v.([]any)
+	if !ok {
+		return nil, false, fmt.Errorf("spec: %s.%s: expected a list, got %T", d.path, key, v)
+	}
+	return seq, true, nil
+}
+
+// maxSeed is the largest representable root seed: numbers travel as
+// float64 in both source formats, so 53 bits is the exact-integer limit.
+const maxSeed = 1<<53 - 1
+
+// decodeSpec builds a Spec from the generic tree, rejecting unknown
+// fields at every level.
+func decodeSpec(v any) (*Spec, error) {
+	d, err := newDec("spec", v)
+	if err != nil {
+		return nil, err
+	}
+	s := &Spec{}
+	if s.Name, err = d.str("name", ""); err != nil {
+		return nil, err
+	}
+	if s.Description, err = d.str("description", ""); err != nil {
+		return nil, err
+	}
+	seed, err := d.floatField("seed", -1)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case seed < 0 && seed != -1:
+		return nil, fmt.Errorf("spec: seed must be a non-negative integer")
+	case seed == -1:
+		h := fnv.New64a()
+		h.Write([]byte(s.Name))
+		s.Seed = h.Sum64()
+	case seed != float64(uint64(seed)) || seed > maxSeed:
+		return nil, fmt.Errorf("spec: seed must be an integer in [0, 2^53)")
+	default:
+		s.Seed = uint64(seed)
+	}
+	if s.Records, err = d.intField("records", 0); err != nil {
+		return nil, err
+	}
+	if s.Mix, err = decodeMix(d, "spec"); err != nil {
+		return nil, err
+	}
+	arr, err := decodeArrival(d, "spec")
+	if err != nil {
+		return nil, err
+	}
+	if arr != nil {
+		s.Arrival = *arr
+	} else {
+		s.Arrival = Arrival{Stickiness: -1}
+	}
+	phSeq, havePhases, err := d.seqField("phases")
+	if err != nil {
+		return nil, err
+	}
+	if havePhases {
+		for i, pv := range phSeq {
+			ph, err := decodePhase(fmt.Sprintf("phases[%d]", i), pv)
+			if err != nil {
+				return nil, err
+			}
+			s.Phases = append(s.Phases, *ph)
+		}
+	}
+	if err := decodeStaleness(d, s); err != nil {
+		return nil, err
+	}
+	return s, d.done()
+}
+
+// decodeMix decodes an optional "mix" list on d.
+func decodeMix(d *dec, where string) ([]MixEntry, error) {
+	seq, ok, err := d.seqField("mix")
+	if err != nil || !ok {
+		return nil, err
+	}
+	mix := []MixEntry{} // non-nil even when empty: validation rejects it
+	for i, ev := range seq {
+		path := fmt.Sprintf("%s.mix[%d]", where, i)
+		ed, err := newDec(path, ev)
+		if err != nil {
+			return nil, err
+		}
+		var e MixEntry
+		if e.App, err = ed.str("app", ""); err != nil {
+			return nil, err
+		}
+		if e.Weight, err = ed.floatField("weight", 1); err != nil {
+			return nil, err
+		}
+		if err := ed.done(); err != nil {
+			return nil, err
+		}
+		mix = append(mix, e)
+	}
+	return mix, nil
+}
+
+// decodeArrival decodes an optional "arrival" mapping on d.
+func decodeArrival(d *dec, where string) (*Arrival, error) {
+	v, ok := d.get("arrival")
+	if !ok || v == nil {
+		return nil, nil
+	}
+	ad, err := newDec(where+".arrival", v)
+	if err != nil {
+		return nil, err
+	}
+	a := &Arrival{}
+	if a.Process, err = ad.str("process", ""); err != nil {
+		return nil, err
+	}
+	if a.Burst, err = ad.intField("burst", 0); err != nil {
+		return nil, err
+	}
+	if a.Stickiness, err = ad.floatField("stickiness", -1); err != nil {
+		return nil, err
+	}
+	return a, ad.done()
+}
+
+// decodePhase decodes one phases[] element.
+func decodePhase(path string, v any) (*Phase, error) {
+	pd, err := newDec(path, v)
+	if err != nil {
+		return nil, err
+	}
+	ph := &Phase{}
+	if ph.Name, err = pd.str("name", ""); err != nil {
+		return nil, err
+	}
+	if ph.Records, err = pd.intField("records", 0); err != nil {
+		return nil, err
+	}
+	start, err := pd.intField("start", -1)
+	if err != nil {
+		return nil, err
+	}
+	if start >= 0 {
+		ph.Start, ph.startSet = start, true
+	} else if start != -1 {
+		return nil, fmt.Errorf("spec: %s.start: must be non-negative", path)
+	}
+	if ph.Input, err = pd.intField("input", 0); err != nil {
+		return nil, err
+	}
+	if ph.Mix, err = decodeMix(pd, path); err != nil {
+		return nil, err
+	}
+	if ph.Arrival, err = decodeArrival(pd, path); err != nil {
+		return nil, err
+	}
+	ph.Drift = Drift{From: -1, To: -1, At: 0.5}
+	if dv, ok := pd.get("drift"); ok && dv != nil {
+		dd, err := newDec(path+".drift", dv)
+		if err != nil {
+			return nil, err
+		}
+		if ph.Drift.Kind, err = dd.str("kind", DriftNone); err != nil {
+			return nil, err
+		}
+		if ph.Drift.From, err = dd.intField("from", -1); err != nil {
+			return nil, err
+		}
+		if ph.Drift.To, err = dd.intField("to", -1); err != nil {
+			return nil, err
+		}
+		if ph.Drift.At, err = dd.floatField("at", 0.5); err != nil {
+			return nil, err
+		}
+		if ph.Drift.Period, err = dd.intField("period", 0); err != nil {
+			return nil, err
+		}
+		if err := dd.done(); err != nil {
+			return nil, err
+		}
+	}
+	return ph, pd.done()
+}
+
+// decodeStaleness decodes the optional "staleness" mapping.
+func decodeStaleness(d *dec, s *Spec) error {
+	v, ok := d.get("staleness")
+	if !ok || v == nil {
+		return nil
+	}
+	sd, err := newDec("spec.staleness", v)
+	if err != nil {
+		return err
+	}
+	seq, ok, err := sd.seqField("cadences")
+	if err != nil {
+		return err
+	}
+	if ok {
+		for i, cv := range seq {
+			f, isNum := cv.(float64)
+			if !isNum || f != float64(int(f)) || f < 0 {
+				return fmt.Errorf("spec: spec.staleness.cadences[%d]: expected a non-negative integer, got %v", i, cv)
+			}
+			s.Staleness.Cadences = append(s.Staleness.Cadences, int(f))
+		}
+	}
+	return sd.done()
+}
+
+// --- validation and defaults ------------------------------------------
+
+// validate fills defaults and checks every cross-field rule. After a
+// successful validate, the spec is fully resolved: every phase has a
+// name, records, mix, arrival and drift, and Start offsets tile the
+// timeline exactly.
+func (s *Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("spec: missing required field \"name\"")
+	}
+	for _, r := range s.Name {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' || r == '.') {
+			return fmt.Errorf("spec: name %q: only [A-Za-z0-9._-] allowed", s.Name)
+		}
+	}
+	if err := validateArrival(&s.Arrival, "spec.arrival"); err != nil {
+		return err
+	}
+	if s.Mix != nil {
+		if err := validateMix(s.Mix, "spec.mix"); err != nil {
+			return err
+		}
+	}
+	if len(s.Phases) == 0 {
+		s.Phases = []Phase{{Name: "main", Drift: Drift{From: -1, To: -1, At: 0.5}}}
+	}
+	names := map[string]bool{}
+	offset := 0
+	for i := range s.Phases {
+		ph := &s.Phases[i]
+		path := fmt.Sprintf("phases[%d]", i)
+		if ph.Name == "" {
+			ph.Name = fmt.Sprintf("phase%d", i)
+		}
+		if names[ph.Name] {
+			return fmt.Errorf("spec: %s: duplicate phase name %q", path, ph.Name)
+		}
+		names[ph.Name] = true
+		if ph.Records == 0 {
+			ph.Records = s.Records
+		}
+		if ph.Records <= 0 {
+			return fmt.Errorf("spec: %s (%s): needs a positive record count (set records on the phase or the spec)", path, ph.Name)
+		}
+		if ph.startSet {
+			if ph.Start < offset {
+				return fmt.Errorf("spec: %s (%s): start %d overlaps the preceding phase (which ends at %d)",
+					path, ph.Name, ph.Start, offset)
+			}
+			if ph.Start > offset {
+				return fmt.Errorf("spec: %s (%s): start %d leaves a gap after the preceding phase (which ends at %d)",
+					path, ph.Name, ph.Start, offset)
+			}
+		}
+		ph.Start = offset
+		offset += ph.Records
+		if ph.Mix == nil {
+			ph.Mix = s.Mix
+		}
+		if ph.Mix == nil {
+			return fmt.Errorf("spec: %s (%s): no mix (set mix on the phase or the spec)", path, ph.Name)
+		}
+		if err := validateMix(ph.Mix, path+".mix"); err != nil {
+			return err
+		}
+		if ph.Arrival == nil {
+			a := s.Arrival
+			ph.Arrival = &a
+		} else if err := validateArrival(ph.Arrival, path+".arrival"); err != nil {
+			return err
+		}
+		if ph.Input < 0 {
+			return fmt.Errorf("spec: %s (%s): input must be non-negative", path, ph.Name)
+		}
+		if err := validateDrift(ph, path); err != nil {
+			return err
+		}
+	}
+	if s.Mix == nil {
+		s.Mix = s.Phases[0].Mix
+	}
+	cad := s.Staleness.Cadences
+	if cad == nil {
+		cad = []int{0, 1, 2, 4}
+	}
+	seen := map[int]bool{}
+	for _, c := range cad {
+		if seen[c] {
+			return fmt.Errorf("spec: spec.staleness.cadences: duplicate cadence %d", c)
+		}
+		seen[c] = true
+	}
+	s.Staleness.Cadences = cad
+	return nil
+}
+
+// validateMix checks one resolved mix.
+func validateMix(mix []MixEntry, path string) error {
+	if len(mix) == 0 {
+		return fmt.Errorf("spec: %s: mix must not be empty", path)
+	}
+	seen := map[string]bool{}
+	for i := range mix {
+		e := &mix[i]
+		if e.App == "" {
+			return fmt.Errorf("spec: %s[%d]: missing app name", path, i)
+		}
+		if seen[e.App] {
+			return fmt.Errorf("spec: %s[%d]: duplicate app %q", path, i, e.App)
+		}
+		seen[e.App] = true
+		if e.Weight <= 0 {
+			return fmt.Errorf("spec: %s[%d] (%s): weight must be positive", path, i, e.App)
+		}
+	}
+	return nil
+}
+
+// validateArrival fills defaults and checks one arrival config.
+func validateArrival(a *Arrival, path string) error {
+	if a.Process == "" {
+		a.Process = ArrivalSteady
+	}
+	switch a.Process {
+	case ArrivalSteady, ArrivalPoisson, ArrivalBursty:
+	default:
+		return fmt.Errorf("spec: %s.process: unknown arrival process %q (want %s, %s or %s)",
+			path, a.Process, ArrivalSteady, ArrivalPoisson, ArrivalBursty)
+	}
+	if a.Burst == 0 {
+		a.Burst = 64
+	}
+	if a.Burst < 1 {
+		return fmt.Errorf("spec: %s.burst: must be >= 1", path)
+	}
+	if a.Stickiness == -1 {
+		if a.Process == ArrivalBursty {
+			a.Stickiness = 0.9
+		} else {
+			a.Stickiness = 0
+		}
+	} else {
+		if a.Process != ArrivalBursty {
+			return fmt.Errorf("spec: %s.stickiness: only valid for the %s process", path, ArrivalBursty)
+		}
+		if a.Stickiness < 0 || a.Stickiness >= 1 {
+			return fmt.Errorf("spec: %s.stickiness: must be in [0, 1)", path)
+		}
+	}
+	return nil
+}
+
+// validateDrift fills drift defaults and checks ranges. Input-variant
+// upper bounds are checked at compile time, once apps are resolved.
+func validateDrift(ph *Phase, path string) error {
+	d := &ph.Drift
+	if d.Kind == "" {
+		d.Kind = DriftNone
+	}
+	if d.From == -1 {
+		d.From = ph.Input
+	}
+	switch d.Kind {
+	case DriftNone:
+		if d.To != -1 || d.Period != 0 {
+			return fmt.Errorf("spec: %s.drift: to/period are only valid with a drifting kind", path)
+		}
+		d.To = d.From
+		d.At = 0
+	case DriftRamp:
+		if d.To == -1 {
+			return fmt.Errorf("spec: %s.drift: ramp needs \"to\"", path)
+		}
+		d.At = 0
+	case DriftFlip:
+		if d.To == -1 {
+			return fmt.Errorf("spec: %s.drift: flip needs \"to\"", path)
+		}
+		if d.At <= 0 || d.At >= 1 {
+			return fmt.Errorf("spec: %s.drift.at: must be in (0, 1)", path)
+		}
+	case DriftDiurnal:
+		if d.To == -1 {
+			return fmt.Errorf("spec: %s.drift: diurnal needs \"to\"", path)
+		}
+		if d.Period <= 1 {
+			return fmt.Errorf("spec: %s.drift.period: diurnal needs a period > 1", path)
+		}
+		d.At = 0
+	default:
+		return fmt.Errorf("spec: %s.drift.kind: unknown drift kind %q (want %s, %s, %s or %s)",
+			path, d.Kind, DriftNone, DriftRamp, DriftFlip, DriftDiurnal)
+	}
+	if d.From < 0 || d.To < 0 {
+		return fmt.Errorf("spec: %s.drift: from/to must be non-negative", path)
+	}
+	if d.Kind != DriftDiurnal {
+		d.Period = 0
+	}
+	return nil
+}
+
+// --- canonical form and hashing ---------------------------------------
+
+// Canonical renders the fully resolved spec as a stable one-line string:
+// two specs that compile to the same scenario produce the same canonical
+// form regardless of source format, comments, key order, or omitted
+// defaults. Description is documentation and is excluded.
+func (s *Spec) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "specv1{name=%s;seed=%d", s.Name, s.Seed)
+	b.WriteString(";phases=[")
+	for i := range s.Phases {
+		ph := &s.Phases[i]
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "{name=%s;start=%d;records=%d;input=%d;mix=[", ph.Name, ph.Start, ph.Records, ph.Input)
+		for j, e := range ph.Mix {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s:%g", e.App, e.Weight)
+		}
+		fmt.Fprintf(&b, "];arrival={%s;burst=%d;stick=%g}", ph.Arrival.Process, ph.Arrival.Burst, ph.Arrival.Stickiness)
+		fmt.Fprintf(&b, ";drift={%s;from=%d;to=%d;at=%g;period=%d}}",
+			ph.Drift.Kind, ph.Drift.From, ph.Drift.To, ph.Drift.At, ph.Drift.Period)
+	}
+	b.WriteString("];cadences=[")
+	for i, c := range s.Staleness.Cadences {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// Hash returns the hex SHA-256 of the canonical form — the spec's
+// identity in disk-cache keys and run journals.
+func (s *Spec) Hash() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return fmt.Sprintf("%x", sum[:])
+}
+
+// TotalRecords sums the phase record budgets.
+func (s *Spec) TotalRecords() int {
+	n := 0
+	for i := range s.Phases {
+		n += s.Phases[i].Records
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// fullYAML exercises every schema field.
+const fullYAML = `
+name: full-demo
+description: exercises every field
+seed: 1234
+records: 3000
+mix:
+  - app: mysql
+    weight: 2
+  - app: kafka
+arrival:
+  process: poisson
+  burst: 32
+phases:
+  - name: warm
+    input: 0
+  - name: drift
+    records: 2000
+    mix:
+      - app: mysql
+    arrival:
+      process: bursty
+      burst: 128
+      stickiness: 0.8
+    drift:
+      kind: ramp
+      from: 0
+      to: 3
+  - name: cycle
+    drift:
+      kind: diurnal
+      to: 2
+      period: 500
+staleness:
+  cadences: [0, 1, 2]
+`
+
+// fullJSON is the same spec in JSON, with keys shuffled and defaults
+// spelled out differently; it must hash identically.
+const fullJSON = `{
+  "seed": 1234,
+  "name": "full-demo",
+  "records": 3000,
+  "arrival": {"burst": 32, "process": "poisson"},
+  "mix": [
+    {"weight": 2, "app": "mysql"},
+    {"app": "kafka", "weight": 1}
+  ],
+  "phases": [
+    {"name": "warm", "input": 0},
+    {"name": "drift", "records": 2000,
+     "mix": [{"app": "mysql"}],
+     "arrival": {"process": "bursty", "burst": 128, "stickiness": 0.8},
+     "drift": {"kind": "ramp", "from": 0, "to": 3}},
+    {"name": "cycle", "drift": {"kind": "diurnal", "to": 2, "period": 500}}
+  ],
+  "staleness": {"cadences": [0, 1, 2]}
+}`
+
+func TestParseFullSpec(t *testing.T) {
+	s, err := Parse([]byte(fullYAML), "yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "full-demo" || s.Seed != 1234 {
+		t.Fatalf("header: %+v", s)
+	}
+	if len(s.Phases) != 3 {
+		t.Fatalf("phases: %d", len(s.Phases))
+	}
+	if s.Phases[0].Records != 3000 || s.Phases[1].Records != 2000 {
+		t.Fatalf("phase records: %+v", s.Phases)
+	}
+	if s.Phases[0].Start != 0 || s.Phases[1].Start != 3000 || s.Phases[2].Start != 5000 {
+		t.Fatalf("phase starts: %+v", s.Phases)
+	}
+	if got := s.TotalRecords(); got != 8000 {
+		t.Fatalf("total records: %d", got)
+	}
+	// Inherited defaults.
+	if a := s.Phases[0].Arrival; a.Process != ArrivalPoisson || a.Burst != 32 {
+		t.Fatalf("phase 0 inherited arrival: %+v", a)
+	}
+	if len(s.Phases[0].Mix) != 2 || s.Phases[0].Mix[1].Weight != 1 {
+		t.Fatalf("phase 0 inherited mix: %+v", s.Phases[0].Mix)
+	}
+	if d := s.Phases[1].Drift; d.Kind != DriftRamp || d.To != 3 {
+		t.Fatalf("drift: %+v", d)
+	}
+	if d := s.Phases[2].Drift; d.Kind != DriftDiurnal || d.From != 0 || d.Period != 500 {
+		t.Fatalf("diurnal drift defaults: %+v", d)
+	}
+}
+
+func TestYAMLAndJSONHashIdentically(t *testing.T) {
+	y, err := Parse([]byte(fullYAML), "yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Parse([]byte(fullJSON), "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Canonical() != j.Canonical() {
+		t.Fatalf("canonical forms differ:\nyaml: %s\njson: %s", y.Canonical(), j.Canonical())
+	}
+	if y.Hash() != j.Hash() {
+		t.Fatalf("hashes differ: %s vs %s", y.Hash(), j.Hash())
+	}
+}
+
+func TestHashIgnoresFormattingButNotSemantics(t *testing.T) {
+	base, err := Parse([]byte("name: h\nrecords: 100\nmix:\n  - app: mysql\n"), "yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	commented, err := Parse([]byte("# reflowed\nname: h   # same spec\nrecords: 100\nmix:\n  - app: mysql\n    weight: 1\n"), "yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Hash() != commented.Hash() {
+		t.Fatal("comment/formatting changes must not change the hash")
+	}
+	changed, err := Parse([]byte("name: h\nrecords: 101\nmix:\n  - app: mysql\n"), "yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Hash() == changed.Hash() {
+		t.Fatal("a semantic change must change the hash")
+	}
+}
+
+func TestDefaultSeedDerivesFromName(t *testing.T) {
+	a, _ := Parse([]byte("name: one\nrecords: 10\nmix:\n  - app: mysql\n"), "yaml")
+	b, _ := Parse([]byte("name: two\nrecords: 10\nmix:\n  - app: mysql\n"), "yaml")
+	if a == nil || b == nil {
+		t.Fatal("parse failed")
+	}
+	if a.Seed == 0 || a.Seed == b.Seed {
+		t.Fatalf("default seeds should differ by name: %d vs %d", a.Seed, b.Seed)
+	}
+}
+
+func TestMalformedSpecs(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"missing name", "records: 10\nmix:\n  - app: mysql\n", "name"},
+		{"unknown top-level field", "name: x\nrecords: 10\nrecrods: 5\nmix:\n  - app: mysql\n", "unknown field \"recrods\""},
+		{"unknown phase field", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: p\n    recordz: 5\n", "unknown field \"recordz\""},
+		{"unknown drift field", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: p\n    drift:\n      kind: ramp\n      to: 1\n      slope: 2\n", "unknown field \"slope\""},
+		{"bad arrival process", "name: x\nrecords: 10\nmix:\n  - app: mysql\narrival:\n  process: fractal\n", "unknown arrival process \"fractal\""},
+		{"stickiness on steady", "name: x\nrecords: 10\nmix:\n  - app: mysql\narrival:\n  process: steady\n  stickiness: 0.5\n", "stickiness"},
+		{"overlapping phases", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: a\n    records: 100\n  - name: b\n    start: 50\n    records: 100\n", "overlaps"},
+		{"gapped phases", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: a\n    records: 100\n  - name: b\n    start: 150\n    records: 100\n", "gap"},
+		{"duplicate phase name", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: a\n  - name: a\n", "duplicate phase name"},
+		{"empty mix", "name: x\nrecords: 10\nmix: []\n", "mix must not be empty"},
+		{"duplicate mix app", "name: x\nrecords: 10\nmix:\n  - app: mysql\n  - app: mysql\n", "duplicate app"},
+		{"bad weight", "name: x\nrecords: 10\nmix:\n  - app: mysql\n    weight: 0\n", "weight must be positive"},
+		{"no records anywhere", "name: x\nmix:\n  - app: mysql\n", "positive record count"},
+		{"bad drift kind", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: p\n    drift:\n      kind: spiral\n      to: 1\n", "unknown drift kind"},
+		{"ramp without to", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: p\n    drift:\n      kind: ramp\n", "needs \"to\""},
+		{"flip at out of range", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: p\n    drift:\n      kind: flip\n      to: 1\n      at: 1.5\n", "must be in (0, 1)"},
+		{"diurnal without period", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: p\n    drift:\n      kind: diurnal\n      to: 1\n", "period"},
+		{"drift params without kind", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: p\n    drift:\n      to: 3\n", "drifting kind"},
+		{"bad seed", "name: x\nseed: 1.5\nrecords: 10\nmix:\n  - app: mysql\n", "seed"},
+		{"bad name chars", "name: \"a b\"\nrecords: 10\nmix:\n  - app: mysql\n", "A-Za-z0-9"},
+		{"duplicate cadence", "name: x\nrecords: 10\nmix:\n  - app: mysql\nstaleness:\n  cadences: [1, 1]\n", "duplicate cadence"},
+		{"negative cadence", "name: x\nrecords: 10\nmix:\n  - app: mysql\nstaleness:\n  cadences: [-1]\n", "non-negative"},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.src), "yaml")
+		if err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown app", "name: x\nrecords: 10\nmix:\n  - app: nosuchapp\n", "unknown app"},
+		{"input out of range", "name: x\nrecords: 10\nmix:\n  - app: mysql\nphases:\n  - name: p\n    drift:\n      kind: ramp\n      to: 99\n", "out of range"},
+	}
+	for _, tc := range cases {
+		s, err := Parse([]byte(tc.src), "yaml")
+		if err != nil {
+			t.Errorf("%s: parse failed early: %v", tc.name, err)
+			continue
+		}
+		_, err = Compile(s)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: got %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package spec
+
+// A minimal YAML-subset decoder. The repository is stdlib-only, so spec
+// files cannot lean on an external YAML library; instead this file
+// implements exactly the subset the workload-spec schema needs and
+// rejects everything else loudly:
+//
+//   - block mappings ("key: value", nesting by indentation)
+//   - block sequences ("- item", including "- key: value" inline starts)
+//   - flow sequences of scalars ("[a, b, c]")
+//   - scalars: bools, base-10/base-16 integers, floats, single- or
+//     double-quoted strings, bare strings
+//   - comments ("# ..." to end of line) and blank lines
+//
+// Anchors, aliases, multi-document streams, flow mappings, block
+// scalars (| and >) and tabs are rejected with a line-numbered error.
+// The decoder produces the same generic shape encoding/json produces
+// (map[string]any / []any / float64 / string / bool), so the strict
+// schema decoder in spec.go serves both formats.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlLine is one significant source line after comment stripping.
+type yamlLine struct {
+	indent int    // leading spaces
+	text   string // content without indentation
+	num    int    // 1-based source line number
+}
+
+// parseYAML decodes the supported YAML subset into generic values.
+func parseYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed (use spaces)", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "---" || strings.HasPrefix(trimmed, "--- ") {
+			return nil, fmt.Errorf("yaml line %d: multi-document streams are not supported", i+1)
+		}
+		lines = append(lines, yamlLine{
+			indent: len(text) - len(trimmed),
+			text:   strings.TrimRight(trimmed, " "),
+			num:    i + 1,
+		})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.block(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yaml line %d: unexpected de-indented content %q", l.num, l.text)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing comment, honouring quoted strings.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// yamlParser consumes significant lines recursively by indentation.
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// block parses the run of lines at exactly the given indentation as one
+// mapping or sequence.
+func (p *yamlParser) block(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("yaml: unexpected end of document")
+	}
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.sequence(indent)
+	}
+	return p.mapping(indent)
+}
+
+// mapping parses "key: value" lines at the given indentation.
+func (p *yamlParser) mapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("yaml line %d: unexpected indentation", l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("yaml line %d: sequence item in mapping context", l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := scalarOrFlow(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// No inline value: the child block is the value (or null).
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+// sequence parses "- item" lines at the given indentation.
+func (p *yamlParser) sequence(indent int) (any, error) {
+	var seq []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("yaml line %d: unexpected indentation", l.num)
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			return nil, fmt.Errorf("yaml line %d: expected sequence item, got %q", l.num, l.text)
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		if rest == "" {
+			// "-" alone: the item is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("yaml line %d: empty sequence item", l.num)
+			}
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		if isMappingStart(rest) {
+			// "- key: value": rewrite the line as the mapping's first
+			// entry at a virtual indentation two columns deeper, the
+			// standard normalization for dash-inlined mappings.
+			p.lines[p.pos] = yamlLine{indent: indent + 2, text: rest, num: l.num}
+			v, err := p.mapping(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		p.pos++
+		v, err := scalarOrFlow(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+// splitKey splits "key: rest" and validates the key.
+func splitKey(l yamlLine) (key, rest string, err error) {
+	i := strings.Index(l.text, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("yaml line %d: expected \"key: value\", got %q", l.num, l.text)
+	}
+	key = strings.TrimSpace(l.text[:i])
+	rest = strings.TrimSpace(l.text[i+1:])
+	if key == "" {
+		return "", "", fmt.Errorf("yaml line %d: empty key", l.num)
+	}
+	if strings.ContainsAny(key, "\"'[]{}") {
+		return "", "", fmt.Errorf("yaml line %d: unsupported key syntax %q", l.num, key)
+	}
+	if rest != "" && i+1 < len(l.text) && l.text[i+1] != ' ' {
+		return "", "", fmt.Errorf("yaml line %d: missing space after colon in %q", l.num, l.text)
+	}
+	return key, rest, nil
+}
+
+// isMappingStart reports whether a dash-inlined item begins a mapping
+// ("key: ..." with a real key, not a quoted scalar containing a colon).
+func isMappingStart(s string) bool {
+	if s == "" || s[0] == '"' || s[0] == '\'' || s[0] == '[' {
+		return false
+	}
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return false
+	}
+	return i == len(s)-1 || s[i+1] == ' '
+}
+
+// scalarOrFlow parses an inline value: a flow sequence or a scalar.
+func scalarOrFlow(s string, num int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow sequence %q", num, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var seq []any
+		for _, part := range strings.Split(inner, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return nil, fmt.Errorf("yaml line %d: empty element in flow sequence %q", num, s)
+			}
+			v, err := scalar(part, num)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		}
+		return seq, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("yaml line %d: flow mappings are not supported", num)
+	}
+	if strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">") {
+		return nil, fmt.Errorf("yaml line %d: block scalars are not supported", num)
+	}
+	if strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") {
+		return nil, fmt.Errorf("yaml line %d: anchors and aliases are not supported", num)
+	}
+	return scalar(s, num)
+}
+
+// scalar parses one scalar token. Numbers decode as float64 to match
+// encoding/json's generic shape.
+func scalar(s string, num int) (any, error) {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		if s[len(s)-1] != s[0] {
+			return nil, fmt.Errorf("yaml line %d: unterminated string %s", num, s)
+		}
+		body := s[1 : len(s)-1]
+		if s[0] == '"' {
+			unq, err := strconv.Unquote(s)
+			if err != nil {
+				return nil, fmt.Errorf("yaml line %d: bad escape in %s", num, s)
+			}
+			return unq, nil
+		}
+		return body, nil
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "~":
+		return nil, nil
+	}
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		if u, err := strconv.ParseUint(s[2:], 16, 64); err == nil {
+			return float64(u), nil
+		}
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

@@ -1,0 +1,96 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLBasic(t *testing.T) {
+	src := `
+# a comment
+name: demo            # trailing comment
+count: 42
+ratio: 0.5
+flag: true
+quoted: "a # not a comment"
+nested:
+  inner: x
+  deeper:
+    leaf: 7
+list:
+  - 1
+  - 2
+flow: [a, 1, true]
+maps:
+  - app: mysql
+    weight: 2
+  - app: kafka
+`
+	v, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":   "demo",
+		"count":  42.0,
+		"ratio":  0.5,
+		"flag":   true,
+		"quoted": "a # not a comment",
+		"nested": map[string]any{
+			"inner":  "x",
+			"deeper": map[string]any{"leaf": 7.0},
+		},
+		"list": []any{1.0, 2.0},
+		"flow": []any{"a", 1.0, true},
+		"maps": []any{
+			map[string]any{"app": "mysql", "weight": 2.0},
+			map[string]any{"app": "kafka"},
+		},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("parsed:\n%#v\nwant:\n%#v", v, want)
+	}
+}
+
+func TestParseYAMLHexAndQuotes(t *testing.T) {
+	v, err := parseYAML([]byte("seed: 0xCA55\nsingle: 'hello world'\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["seed"] != float64(0xCA55) {
+		t.Fatalf("hex seed: got %v", m["seed"])
+	}
+	if m["single"] != "hello world" {
+		t.Fatalf("single-quoted: got %v", m["single"])
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab":           "a:\n\tb: 1\n",
+		"flow mapping":  "a: {x: 1}\n",
+		"block scalar":  "a: |\n  text\n",
+		"anchor":        "a: &x 1\n",
+		"duplicate key": "a: 1\na: 2\n",
+		"multi-doc":     "---\na: 1\n",
+		"bad indent":    "a:\n  b: 1\n c: 2\n",
+		"no colon":      "a: 1\njust words\n",
+		"empty":         "# only a comment\n",
+		"unterminated":  "a: [1, 2\n",
+		"seq in map":    "a: 1\n- b\n",
+	}
+	for name, src := range cases {
+		if _, err := parseYAML([]byte(src)); err == nil {
+			t.Errorf("%s: expected an error for %q", name, src)
+		}
+	}
+}
+
+func TestParseYAMLErrorHasLineNumber(t *testing.T) {
+	_, err := parseYAML([]byte("a: 1\nb: 2\nc: {bad}\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want a line-3 error, got %v", err)
+	}
+}
