@@ -1,0 +1,19 @@
+package bpu_test
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/snaptest"
+)
+
+// TestSnapshotFidelity locks the bpu.Snapshotter contract for the
+// simple reference predictors.
+func TestSnapshotFidelity(t *testing.T) {
+	t.Run("bimodal", func(t *testing.T) {
+		snaptest.Fidelity(t, func() bpu.Predictor { return bpu.NewBimodal(12) }, nil)
+	})
+	t.Run("gshare", func(t *testing.T) {
+		snaptest.Fidelity(t, func() bpu.Predictor { return bpu.NewGShare(12, 10) }, nil)
+	})
+}

@@ -1,0 +1,142 @@
+package bpu
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/snap"
+)
+
+// Snapshotter is implemented by predictors (and the core runtime) that
+// can serialize their mutable state to a canonical byte string and
+// restore it into a fresh instance built with the same configuration.
+//
+// The contract, enforced by each package's snapshot property tests:
+//
+//   - Snapshot is canonical: the same logical state always yields the
+//     same bytes (map contents are emitted in a fixed order), so two
+//     snapshots can be compared with bytes.Equal.
+//   - Restore(s.Snapshot()) into a same-config instance makes it
+//     behaviorally identical to s: any record suffix produces the same
+//     predictions and the same final Snapshot bytes.
+//   - Snapshot after Restore re-encodes to the identical byte string
+//     (encode -> decode -> re-encode identity), so snapshots are safe
+//     to content-address or persist next to store artifacts.
+//
+// Restore must not retain the input slice.
+type Snapshotter interface {
+	Snapshot() []byte
+	Restore([]byte) error
+}
+
+// RawValue returns the counter's raw value for snapshot encoding.
+func (c *Counter) RawValue() int16 { return c.v }
+
+// SetRawValue restores a counter value captured with RawValue. The
+// value must lie within the counter's range.
+func (c *Counter) SetRawValue(v int16) error {
+	if v < 0 || v > c.max {
+		return fmt.Errorf("bpu: counter value %d out of range [0,%d]", v, c.max)
+	}
+	c.v = v
+	return nil
+}
+
+// State exposes the raw history words and push count for snapshots.
+func (h *History) State() (w [historyWords]uint64, count uint64) {
+	return h.w, h.count
+}
+
+// SetState restores history state captured with State.
+func (h *History) SetState(w [historyWords]uint64, count uint64) {
+	h.w = w
+	h.count = count
+}
+
+// appendHistory / readHistory are the shared History codec used by the
+// predictors' snapshot implementations.
+
+// AppendHistory encodes h in canonical form.
+func AppendHistory(b []byte, h *History) []byte {
+	for _, w := range h.w {
+		b = snap.U64(b, w)
+	}
+	return snap.U64(b, h.count)
+}
+
+// ReadHistory decodes state written by AppendHistory into h.
+func ReadHistory(r *snap.Reader, h *History) {
+	for i := range h.w {
+		h.w[i] = r.U64()
+	}
+	h.count = r.U64()
+}
+
+// appendCounters encodes a counter table (values only; widths are
+// construction-time configuration).
+func appendCounters(b []byte, tbl []Counter) []byte {
+	b = snap.U32(b, uint32(len(tbl)))
+	for i := range tbl {
+		b = snap.I16(b, tbl[i].v)
+	}
+	return b
+}
+
+func readCounters(r *snap.Reader, tbl []Counter) error {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(tbl) {
+		return fmt.Errorf("bpu: counter table size %d, want %d", n, len(tbl))
+	}
+	for i := range tbl {
+		if err := tbl[i].SetRawValue(r.I16()); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+const (
+	bimodalSnapVersion = 1
+	gshareSnapVersion  = 1
+)
+
+// Snapshot implements Snapshotter for the bimodal predictor.
+func (b *Bimodal) Snapshot() []byte {
+	return snap.Seal(snap.KindBimodal, bimodalSnapVersion, appendCounters(nil, b.table))
+}
+
+// Restore implements Snapshotter for the bimodal predictor.
+func (b *Bimodal) Restore(s []byte) error {
+	payload, err := snap.Open(snap.KindBimodal, bimodalSnapVersion, s)
+	if err != nil {
+		return err
+	}
+	r := snap.NewReader(payload)
+	if err := readCounters(r, b.table); err != nil {
+		return err
+	}
+	return r.Done()
+}
+
+// Snapshot implements Snapshotter for the gshare predictor.
+func (g *GShare) Snapshot() []byte {
+	out := appendCounters(nil, g.table)
+	out = AppendHistory(out, &g.hist)
+	return snap.Seal(snap.KindGShare, gshareSnapVersion, out)
+}
+
+// Restore implements Snapshotter for the gshare predictor.
+func (g *GShare) Restore(s []byte) error {
+	payload, err := snap.Open(snap.KindGShare, gshareSnapVersion, s)
+	if err != nil {
+		return err
+	}
+	r := snap.NewReader(payload)
+	if err := readCounters(r, g.table); err != nil {
+		return err
+	}
+	ReadHistory(r, &g.hist)
+	return r.Done()
+}

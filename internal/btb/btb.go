@@ -5,6 +5,8 @@
 package btb
 
 import (
+	"sort"
+
 	"github.com/whisper-sim/whisper/internal/trace"
 )
 
@@ -166,6 +168,8 @@ func (r *RAS) Depth() int { return r.depth }
 // short path signature the caller maintains.
 type IBTB struct {
 	entries map[uint64]uint64
+	seq     map[uint64]uint64 // insertion clock per live key
+	clock   uint64
 	max     int
 
 	lookups uint64
@@ -179,7 +183,11 @@ func NewIBTB(max int) *IBTB {
 	if max <= 0 {
 		panic("btb: IBTB max must be positive")
 	}
-	return &IBTB{entries: make(map[uint64]uint64, max), max: max}
+	return &IBTB{
+		entries: make(map[uint64]uint64, max),
+		seq:     make(map[uint64]uint64, max),
+		max:     max,
+	}
 }
 
 // Lookup predicts the target for the hashed index.
@@ -192,20 +200,36 @@ func (i *IBTB) Lookup(idx uint64) (uint64, bool) {
 	return t, ok
 }
 
-// Update installs the resolved target. When full, the map is halved by
-// dropping arbitrary entries — a coarse but deterministic-capacity model.
+// Update installs the resolved target. When full, the table is halved
+// by dropping the oldest-inserted half (a FIFO clock), which keeps
+// eviction fully deterministic — map iteration order must never leak
+// into simulated state.
 func (i *IBTB) Update(idx, target uint64) {
-	if len(i.entries) >= i.max {
-		n := 0
-		for k := range i.entries {
-			delete(i.entries, k)
-			n++
-			if n >= i.max/2 {
-				break
-			}
+	if _, live := i.entries[idx]; !live {
+		if len(i.entries) >= i.max {
+			i.evictOldest(i.max / 2)
 		}
+		i.seq[idx] = i.clock
+		i.clock++
 	}
 	i.entries[idx] = target
+}
+
+// evictOldest removes the n entries with the smallest insertion clocks.
+func (i *IBTB) evictOldest(n int) {
+	type kv struct{ key, seq uint64 }
+	order := make([]kv, 0, len(i.seq))
+	for k, s := range i.seq {
+		order = append(order, kv{k, s})
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].seq < order[b].seq })
+	if n > len(order) {
+		n = len(order)
+	}
+	for _, e := range order[:n] {
+		delete(i.entries, e.key)
+		delete(i.seq, e.key)
+	}
 }
 
 // MissRate returns the fraction of failed lookups.

@@ -1,0 +1,186 @@
+package btb
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/whisper-sim/whisper/internal/snap"
+)
+
+// Clone returns a deep copy of the BTB.
+func (b *BTB) Clone() *BTB {
+	d := *b
+	d.tags = append([]uint64(nil), b.tags...)
+	d.targets = append([]uint64(nil), b.targets...)
+	d.valid = append([]bool(nil), b.valid...)
+	d.lru = append([]uint8(nil), b.lru...)
+	return &d
+}
+
+// AppendState encodes the BTB's functional contents canonically,
+// excluding the observational lookup/miss counters.
+func (b *BTB) AppendState(out []byte) []byte {
+	out = snap.U32(out, uint32(len(b.tags)))
+	for _, t := range b.tags {
+		out = snap.U64(out, t)
+	}
+	for _, t := range b.targets {
+		out = snap.U64(out, t)
+	}
+	for i := range b.valid {
+		out = snap.Bool(out, b.valid[i])
+	}
+	for _, r := range b.lru {
+		out = snap.U8(out, r)
+	}
+	return out
+}
+
+// ReadState restores contents written by AppendState.
+func (b *BTB) ReadState(r *snap.Reader) error {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(b.tags) {
+		return fmt.Errorf("btb: snapshot has %d entries, want %d", n, len(b.tags))
+	}
+	for i := range b.tags {
+		b.tags[i] = r.U64()
+	}
+	for i := range b.targets {
+		b.targets[i] = r.U64()
+	}
+	for i := range b.valid {
+		b.valid[i] = r.Bool()
+	}
+	for i := range b.lru {
+		b.lru[i] = r.U8()
+	}
+	return r.Err()
+}
+
+// Clone returns a deep copy of the RAS.
+func (r *RAS) Clone() *RAS {
+	d := *r
+	d.stack = append([]uint64(nil), r.stack...)
+	return &d
+}
+
+// AppendState encodes the RAS canonically: the live entries in pop
+// order (top first). The absolute top index is not encoded — RAS
+// behavior only depends on positions relative to top, so two stacks
+// with the same pop-order contents are behaviorally identical and
+// yield identical bytes.
+func (r *RAS) AppendState(out []byte) []byte {
+	out = snap.U32(out, uint32(r.depth))
+	for i := 0; i < r.depth; i++ {
+		out = snap.U64(out, r.stack[(r.top-i+len(r.stack))%len(r.stack)])
+	}
+	return out
+}
+
+// ReadState restores contents written by AppendState.
+func (r *RAS) ReadState(rd *snap.Reader) error {
+	depth := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if depth > len(r.stack) {
+		return fmt.Errorf("btb: RAS snapshot depth %d exceeds capacity %d", depth, len(r.stack))
+	}
+	for i := range r.stack {
+		r.stack[i] = 0
+	}
+	r.depth = depth
+	r.top = depth % len(r.stack)
+	for i := 0; i < depth; i++ {
+		r.stack[(r.top-i+len(r.stack))%len(r.stack)] = rd.U64()
+	}
+	return rd.Err()
+}
+
+// Clone returns a deep copy of the IBTB.
+func (i *IBTB) Clone() *IBTB {
+	d := *i
+	d.entries = make(map[uint64]uint64, len(i.entries))
+	for k, v := range i.entries {
+		d.entries[k] = v
+	}
+	d.seq = make(map[uint64]uint64, len(i.seq))
+	for k, v := range i.seq {
+		d.seq[k] = v
+	}
+	return &d
+}
+
+// AppendState encodes the live entries oldest-insertion first. Only the
+// relative insertion order matters for future evictions, so restoring
+// renumbers the clock from zero and re-encoding yields identical bytes.
+func (i *IBTB) AppendState(out []byte) []byte {
+	type kv struct{ key, seq uint64 }
+	order := make([]kv, 0, len(i.seq))
+	for k, s := range i.seq {
+		order = append(order, kv{k, s})
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].seq < order[b].seq })
+	out = snap.U32(out, uint32(len(order)))
+	for _, e := range order {
+		out = snap.U64(out, e.key)
+		out = snap.U64(out, i.entries[e.key])
+	}
+	return out
+}
+
+// ReadState restores contents written by AppendState.
+func (i *IBTB) ReadState(r *snap.Reader) error {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n > i.max {
+		return fmt.Errorf("btb: IBTB snapshot has %d entries, max %d", n, i.max)
+	}
+	i.entries = make(map[uint64]uint64, n)
+	i.seq = make(map[uint64]uint64, n)
+	for k := 0; k < n; k++ {
+		key := r.U64()
+		i.entries[key] = r.U64()
+		i.seq[key] = uint64(k)
+	}
+	i.clock = uint64(n)
+	return r.Err()
+}
+
+// Clone returns a deep copy of the target-prediction frontend.
+func (f *Frontend) Clone() *Frontend {
+	return &Frontend{
+		BTB:     f.BTB.Clone(),
+		RAS:     f.RAS.Clone(),
+		IBTB:    f.IBTB.Clone(),
+		pathSig: f.pathSig,
+	}
+}
+
+// AppendState encodes all target structures plus the path signature.
+func (f *Frontend) AppendState(out []byte) []byte {
+	out = f.BTB.AppendState(out)
+	out = f.RAS.AppendState(out)
+	out = f.IBTB.AppendState(out)
+	return snap.U64(out, f.pathSig)
+}
+
+// ReadState restores state written by AppendState.
+func (f *Frontend) ReadState(r *snap.Reader) error {
+	if err := f.BTB.ReadState(r); err != nil {
+		return err
+	}
+	if err := f.RAS.ReadState(r); err != nil {
+		return err
+	}
+	if err := f.IBTB.ReadState(r); err != nil {
+		return err
+	}
+	f.pathSig = r.U64()
+	return r.Err()
+}

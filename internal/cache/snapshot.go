@@ -1,0 +1,82 @@
+package cache
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/snap"
+)
+
+// Clone returns a deep copy of the cache. The clone and the original
+// share no mutable state.
+func (c *Cache) Clone() *Cache {
+	d := *c
+	d.tags = append([]uint64(nil), c.tags...)
+	d.valid = append([]bool(nil), c.valid...)
+	d.lru = append([]uint8(nil), c.lru...)
+	return &d
+}
+
+// AppendState encodes the cache's functional contents (tags, valid
+// bits, LRU ranks) in canonical form. The demand counters are
+// deliberately excluded: they are observational, never feed back into
+// hit/miss behavior, and the windowed engine accounts them as
+// per-window deltas. Two caches with equal AppendState bytes behave
+// identically on any future access sequence.
+func (c *Cache) AppendState(b []byte) []byte {
+	b = snap.U32(b, uint32(len(c.tags)))
+	for _, t := range c.tags {
+		b = snap.U64(b, t)
+	}
+	for i := range c.valid {
+		b = snap.Bool(b, c.valid[i])
+	}
+	for _, r := range c.lru {
+		b = snap.U8(b, r)
+	}
+	return b
+}
+
+// ReadState restores contents written by AppendState into a cache of
+// the same geometry.
+func (c *Cache) ReadState(r *snap.Reader) error {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(c.tags) {
+		return fmt.Errorf("cache %s: snapshot has %d lines, want %d", c.name, n, len(c.tags))
+	}
+	for i := range c.tags {
+		c.tags[i] = r.U64()
+	}
+	for i := range c.valid {
+		c.valid[i] = r.Bool()
+	}
+	for i := range c.lru {
+		c.lru[i] = r.U8()
+	}
+	return r.Err()
+}
+
+// Clone returns a deep copy of the hierarchy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{L1c: h.L1c.Clone(), L2c: h.L2c.Clone(), L3c: h.L3c.Clone()}
+}
+
+// AppendState encodes all three levels canonically.
+func (h *Hierarchy) AppendState(b []byte) []byte {
+	b = h.L1c.AppendState(b)
+	b = h.L2c.AppendState(b)
+	return h.L3c.AppendState(b)
+}
+
+// ReadState restores all three levels.
+func (h *Hierarchy) ReadState(r *snap.Reader) error {
+	if err := h.L1c.ReadState(r); err != nil {
+		return err
+	}
+	if err := h.L2c.ReadState(r); err != nil {
+		return err
+	}
+	return h.L3c.ReadState(r)
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/snap"
+)
+
+const snapVersion = 1
+
+// Snapshot implements bpu.Snapshotter: hint-buffer contents, history,
+// the hint counters, and the underlying predictor's state (which must
+// itself be a Snapshotter). The binary's hint placement and the history
+// length series are construction-time configuration and not encoded.
+func (r *Runtime) Snapshot() []byte {
+	under, ok := r.under.(bpu.Snapshotter)
+	if !ok {
+		panic(fmt.Sprintf("core: underlying predictor %s is not a Snapshotter", r.under.Name()))
+	}
+	var b []byte
+	b = r.buffer.AppendState(b)
+	b = bpu.AppendHistory(b, &r.hist)
+	b = snap.U64(b, r.HintPredictions)
+	b = snap.U64(b, r.HintExecutions)
+	us := under.Snapshot()
+	b = snap.U32(b, uint32(len(us)))
+	b = append(b, us...)
+	return snap.Seal(snap.KindRuntime, snapVersion, b)
+}
+
+// Restore implements bpu.Snapshotter. The receiver must wrap the same
+// binary and an identically configured underlying predictor.
+func (r *Runtime) Restore(s []byte) error {
+	under, ok := r.under.(bpu.Snapshotter)
+	if !ok {
+		return fmt.Errorf("core: underlying predictor %s is not a Snapshotter", r.under.Name())
+	}
+	payload, err := snap.Open(snap.KindRuntime, snapVersion, s)
+	if err != nil {
+		return err
+	}
+	rd := snap.NewReader(payload)
+	if err := r.buffer.ReadState(rd); err != nil {
+		return err
+	}
+	bpu.ReadHistory(rd, &r.hist)
+	hp := rd.U64()
+	he := rd.U64()
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	us := make([]byte, n)
+	for i := range us {
+		us[i] = rd.U8()
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if err := under.Restore(us); err != nil {
+		return err
+	}
+	r.HintPredictions = hp
+	r.HintExecutions = he
+	return nil
+}

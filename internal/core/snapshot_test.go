@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/formula"
+	"github.com/whisper-sim/whisper/internal/hint"
+	"github.com/whisper-sim/whisper/internal/snaptest"
+	"github.com/whisper-sim/whisper/internal/tage"
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/xrand"
+)
+
+// snapBinary builds a hand-made updated binary: three hosts, each
+// carrying one hint, covering the bias short-circuits and a formula
+// hint that reads the folded history.
+func snapBinary(t *testing.T) *Binary {
+	t.Helper()
+	bin := &Binary{ByHost: make(map[uint64][]PlacedHint)}
+	add := func(hostPC, branchPC uint64, b hint.Bias, f formula.Formula) {
+		enc := hint.BrHint{
+			HistIdx: 0,
+			Formula: f,
+			Bias:    b,
+			Offset:  int16(int64(branchPC) - int64(hostPC)),
+		}
+		if err := enc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		bin.ByHost[hostPC] = append(bin.ByHost[hostPC], PlacedHint{
+			Hint:    Hint{PC: branchPC, Bias: b, Formula: f},
+			Encoded: enc,
+		})
+		bin.Placed++
+	}
+	add(0x400000, 0x400010, hint.BiasTaken, 0)
+	add(0x400100, 0x400110, hint.BiasNotTaken, 0)
+	add(0x400200, 0x400210, hint.BiasNone, formula.Uniform(formula.And, false))
+	return bin
+}
+
+// TestRuntimeSnapshotFidelity locks the bpu.Snapshotter contract for
+// the whisper runtime: the hint buffer (recency order and counters),
+// folded history, and the wrapped predictor must all survive a
+// snapshot/restore round trip. The step retires host blocks so the
+// hint buffer churns across the snapshot boundary.
+func TestRuntimeSnapshotFidelity(t *testing.T) {
+	bin := snapBinary(t)
+	lengths := []int{8}
+	mk := func() bpu.Predictor {
+		return NewRuntime(tage.New(tage.Config{SizeKB: 8}), bin, lengths, 4)
+	}
+	step := func(p bpu.Predictor, r *xrand.Rand, i int) {
+		rt := p.(*Runtime)
+		if r.Bool(0.3) { // retire a host block, executing its hint
+			host := 0x400000 + uint64(r.Intn(3))*0x100
+			rt.OnRecord(&trace.Record{PC: host})
+		}
+		var pc uint64
+		if r.Bool(0.4) { // hinted branch
+			pc = 0x400010 + uint64(r.Intn(3))*0x100
+		} else {
+			pc = 0x500000 + r.Uint64n(512)*4
+		}
+		p.Predict(pc)
+		p.Update(pc, r.Bool(0.5))
+	}
+	snaptest.Fidelity(t, mk, step)
+}

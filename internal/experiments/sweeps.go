@@ -28,7 +28,7 @@ func whisperReductionWith(opt Options, phase string, sizeKB int, records int, wa
 			return sweepApp{}, err
 		}
 		popt := pipeline.Options{Config: opt.Pipeline, WarmupRecords: warmup, BlockSize: opt.BlockSize}
-		base := memoBaseline(app, opt.TestInput, records, warmup, sizeKB, opt.Pipeline, opt.BlockSize)
+		base := memoBaseline(app, opt.TestInput, records, warmup, sizeKB, opt.Pipeline, opt)
 		res, _ := b.RunWhisperWarm(app, opt.TestInput, records, factory, popt)
 		u.AddInstrs(base.Instrs + res.Instrs)
 		u.AddRecords(base.Records + res.Records)
@@ -156,7 +156,7 @@ func Fig22(opt Options, fracs []float64) (*Fig22Result, error) {
 		warmup := uint64(float64(opt.Records) * f)
 		reds, err := mapApps(opt, fmt.Sprintf("fig22@%g", f), func(ai int, app *workload.App, u *runner.Unit) (float64, error) {
 			popt := pipeline.Options{Config: opt.Pipeline, WarmupRecords: warmup, BlockSize: opt.BlockSize}
-			base := memoBaseline(app, opt.TestInput, opt.Records, warmup, 64, opt.Pipeline, opt.BlockSize)
+			base := memoBaseline(app, opt.TestInput, opt.Records, warmup, 64, opt.Pipeline, opt)
 			res, _ := builds[ai].RunWhisperWarm(app, opt.TestInput, opt.Records, sim.Tage64KB, popt)
 			u.AddInstrs(base.Instrs + res.Instrs)
 			u.AddRecords(base.Records + res.Records)

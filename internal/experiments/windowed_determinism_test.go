@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/spec"
+	"github.com/whisper-sim/whisper/internal/tage"
+)
+
+// loadExampleSpec compiles one of the committed example specs.
+func loadExampleSpec(t *testing.T, name string) *spec.Scenario {
+	t.Helper()
+	s, err := spec.Load(filepath.Join("..", "..", "examples", "specs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := spec.Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestWindowedDeterminismSweep is the windowed engine's determinism
+// lock, meant to run under -race in CI: for two example specs, every
+// (-sim-j, window) combination — including windows smaller than, equal
+// to, and larger than the trace — must reproduce the batched engine's
+// Result exactly. The engine promises bit-identical output regardless
+// of scheduling, so any divergence or data race here is a bug, not
+// noise.
+func TestWindowedDeterminismSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every spec 13 times")
+	}
+	mk := func() bpu.Predictor { return tage.New(tage.Config{SizeKB: 8}) }
+	for _, name := range []string{"steady.yaml", "minimal.json"} {
+		sc := loadExampleSpec(t, name)
+		full := sc.Spec.TotalRecords()
+		want := pipeline.Run(sc.Stream(), mk(), pipeline.Options{Config: pipeline.DefaultConfig()})
+		for _, j := range []int{1, 2, 4, 8} {
+			for _, win := range []int{1000, 1 << 16, full} {
+				opt := pipeline.Options{
+					Config:      pipeline.DefaultConfig(),
+					Parallelism: j,
+					WindowSize:  win,
+				}
+				got := pipeline.Run(sc.Stream(), mk(), opt)
+				if got != want {
+					t.Errorf("%s: sim-j=%d window=%d: %+v != batched %+v", name, j, win, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package frontend
+
+import "github.com/whisper-sim/whisper/internal/snap"
+
+// Clone returns a deep copy of the frontend, including the current
+// Stats. The clone and the original share no mutable state, so both
+// can simulate independently — the basis of the windowed engine's
+// speculative workers.
+func (f *FDIP) Clone() *FDIP {
+	return &FDIP{
+		cfg:     f.cfg,
+		icache:  f.icache.Clone(),
+		targets: f.targets.Clone(),
+		exposed: f.exposed,
+		Stats:   f.Stats,
+	}
+}
+
+// AppendState encodes the frontend's functional state — everything
+// that influences future fetch/target behavior: the exposure counter,
+// the I-cache hierarchy contents, and the target structures. Stats are
+// excluded: they are additive outputs, accounted as per-window deltas
+// by the windowed engine. Two frontends with equal AppendState bytes
+// produce identical stalls, squashes, and Stats deltas on any future
+// record sequence.
+func (f *FDIP) AppendState(b []byte) []byte {
+	b = snap.U32(b, uint32(f.exposed))
+	b = f.icache.AppendState(b)
+	return f.targets.AppendState(b)
+}
+
+// ReadState restores state written by AppendState into a frontend
+// built with the same Config.
+func (f *FDIP) ReadState(r *snap.Reader) error {
+	f.exposed = int(r.U32())
+	if err := f.icache.ReadState(r); err != nil {
+		return err
+	}
+	return f.targets.ReadState(r)
+}

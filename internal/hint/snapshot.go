@@ -1,0 +1,71 @@
+package hint
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/formula"
+	"github.com/whisper-sim/whisper/internal/snap"
+)
+
+// AppendState appends the buffer's canonical state: resident entries in
+// recency order (most recent first) followed by the traffic counters.
+// Capacity is construction-time configuration and not encoded.
+func (b *Buffer) AppendState(dst []byte) []byte {
+	dst = snap.U32(dst, uint32(len(b.entries)))
+	for e := b.head; e != nil; e = e.next {
+		dst = snap.U64(dst, e.pc)
+		dst = snap.U8(dst, e.hint.HistIdx)
+		dst = snap.U16(dst, uint16(e.hint.Formula))
+		dst = snap.U8(dst, uint8(e.hint.Bias))
+		dst = snap.I16(dst, e.hint.Offset)
+	}
+	dst = snap.U64(dst, b.Lookups)
+	dst = snap.U64(dst, b.Hits)
+	dst = snap.U64(dst, b.Inserts)
+	return dst
+}
+
+// ReadState restores state written by AppendState. The receiver must
+// have the snapshotted buffer's capacity.
+func (b *Buffer) ReadState(r *snap.Reader) error {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n > b.capacity {
+		return fmt.Errorf("hint: %d buffer entries exceed capacity %d", n, b.capacity)
+	}
+	ents := make([]*bufEntry, n)
+	for i := range ents {
+		e := &bufEntry{pc: r.U64()}
+		e.hint.HistIdx = r.U8()
+		e.hint.Formula = formula.Formula(r.U16())
+		e.hint.Bias = Bias(r.U8())
+		e.hint.Offset = r.I16()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if err := e.hint.Validate(); err != nil {
+			return err
+		}
+		ents[i] = e
+	}
+	lookups, hits, inserts := r.U64(), r.U64(), r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	b.entries = make(map[uint64]*bufEntry, b.capacity)
+	b.head, b.tail = nil, nil
+	// Push in reverse recency order so the most recent entry ends up at
+	// the head, matching the snapshotted list.
+	for i := n - 1; i >= 0; i-- {
+		e := ents[i]
+		if _, dup := b.entries[e.pc]; dup {
+			return fmt.Errorf("hint: duplicate buffer entry %#x", e.pc)
+		}
+		b.entries[e.pc] = e
+		b.pushFront(e)
+	}
+	b.Lookups, b.Hits, b.Inserts = lookups, hits, inserts
+	return nil
+}

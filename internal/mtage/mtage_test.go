@@ -136,3 +136,28 @@ func BenchmarkPredictUpdate(b *testing.B) {
 		p.Update(pc, r.Bool(0.5))
 	}
 }
+
+// BenchmarkPredictUpdateBatch is the regression gate for the batch
+// fast path: open-addressed tables probed once per component per
+// record, with branchless counter updates. Compare against
+// BenchmarkPredictUpdate to see the batch path's advantage.
+func BenchmarkPredictUpdateBatch(b *testing.B) {
+	const span = 4096
+	p := New()
+	r := xrand.New(1)
+	pcs := make([]uint64, span)
+	taken := make([]bool, span)
+	miss := make([]bool, span)
+	for i := range pcs {
+		pcs[i] = 0x400000 + uint64(i)*8
+		taken[i] = r.Bool(0.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += span {
+		n := span
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		p.PredictUpdateBatch(pcs[:n], taken[:n], miss[:n])
+	}
+}

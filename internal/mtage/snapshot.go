@@ -1,0 +1,170 @@
+package mtage
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/snap"
+)
+
+const snapVersion = 1
+
+// appendSortedKeys encodes (key, value) pairs sorted by (pc, h) so the
+// encoding is canonical regardless of table layout or insertion order.
+func appendComp(b []byte, c *comp) []byte {
+	order := make([]int, 0, c.live)
+	for i, v := range c.vals {
+		if v != emptySlot {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, bIdx int) bool {
+		ka, kb := c.keys[order[a]], c.keys[order[bIdx]]
+		if ka.pc != kb.pc {
+			return ka.pc < kb.pc
+		}
+		return ka.h < kb.h
+	})
+	b = snap.U32(b, uint32(len(order)))
+	for _, i := range order {
+		b = snap.U64(b, c.keys[i].pc)
+		b = snap.U64(b, c.keys[i].h)
+		b = snap.U8(b, c.vals[i])
+	}
+	return b
+}
+
+func readComp(r *snap.Reader, c *comp) error {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	*c = newComp()
+	for i := 0; i < n; i++ {
+		k := key{pc: r.U64(), h: r.U64()}
+		v := r.U8()
+		if v > 7 {
+			return fmt.Errorf("mtage: counter value %d out of range", v)
+		}
+		slot, ok := c.find(k)
+		if ok {
+			return fmt.Errorf("mtage: duplicate key in snapshot")
+		}
+		c.insertAt(slot, k, v)
+	}
+	return r.Err()
+}
+
+// Snapshot implements bpu.Snapshotter: all mutable state in canonical
+// (sorted-key) form. The Predict→Update metadata is transient and
+// excluded; Restore clears it.
+func (m *MTageSC) Snapshot() []byte {
+	var b []byte
+	b = snap.U32(b, uint32(len(m.comps)))
+	for i := range m.comps {
+		b = appendComp(b, &m.comps[i])
+	}
+	b = appendU64Ctr(b, m.base)
+	b = appendU64U8(b, m.trust)
+	b = bpu.AppendHistory(b, &m.hist)
+	return snap.Seal(snap.KindMTAGE, snapVersion, b)
+}
+
+// Restore implements bpu.Snapshotter.
+func (m *MTageSC) Restore(s []byte) error {
+	payload, err := snap.Open(snap.KindMTAGE, snapVersion, s)
+	if err != nil {
+		return err
+	}
+	r := snap.NewReader(payload)
+	if n := int(r.U32()); n != len(m.comps) {
+		return fmt.Errorf("mtage: %d components, want %d", n, len(m.comps))
+	}
+	comps := make([]comp, len(m.comps))
+	for i := range comps {
+		if err := readComp(r, &comps[i]); err != nil {
+			return err
+		}
+	}
+	base, err := readU64Ctr(r)
+	if err != nil {
+		return err
+	}
+	trust, err := readU64U8(r)
+	if err != nil {
+		return err
+	}
+	bpu.ReadHistory(r, &m.hist)
+	if err := r.Done(); err != nil {
+		return err
+	}
+	m.comps = comps
+	m.base = base
+	m.trust = trust
+	m.last.valid = false
+	return nil
+}
+
+func sortedU64[V any](mp map[uint64]V) []uint64 {
+	ks := make([]uint64, 0, len(mp))
+	for k := range mp {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func appendU64Ctr(b []byte, mp map[uint64]ctr) []byte {
+	ks := sortedU64(mp)
+	b = snap.U32(b, uint32(len(ks)))
+	for _, k := range ks {
+		b = snap.U64(b, k)
+		b = snap.U8(b, uint8(mp[k]))
+	}
+	return b
+}
+
+func readU64Ctr(r *snap.Reader) (map[uint64]ctr, error) {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	mp := make(map[uint64]ctr, n)
+	for i := 0; i < n; i++ {
+		k := r.U64()
+		v := r.U8()
+		if v > 7 {
+			return nil, fmt.Errorf("mtage: base counter %d out of range", v)
+		}
+		mp[k] = ctr(v)
+	}
+	return mp, r.Err()
+}
+
+func appendU64U8(b []byte, mp map[uint64]uint8) []byte {
+	ks := sortedU64(mp)
+	b = snap.U32(b, uint32(len(ks)))
+	for _, k := range ks {
+		b = snap.U64(b, k)
+		b = snap.U8(b, mp[k])
+	}
+	return b
+}
+
+func readU64U8(r *snap.Reader) (map[uint64]uint8, error) {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	mp := make(map[uint64]uint8, n)
+	for i := 0; i < n; i++ {
+		k := r.U64()
+		v := r.U8()
+		if v > 15 {
+			return nil, fmt.Errorf("mtage: trust counter %d out of range", v)
+		}
+		mp[k] = v
+	}
+	return mp, r.Err()
+}

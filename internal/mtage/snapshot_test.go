@@ -1,0 +1,17 @@
+package mtage_test
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/mtage"
+	"github.com/whisper-sim/whisper/internal/snaptest"
+)
+
+// TestSnapshotFidelity locks the bpu.Snapshotter contract the windowed
+// pipeline engine depends on. MTAGE's open-addressed tables make
+// canonical encoding the interesting property here: entries must be
+// emitted in key order, not probe order.
+func TestSnapshotFidelity(t *testing.T) {
+	snaptest.Fidelity(t, func() bpu.Predictor { return mtage.New() }, nil)
+}

@@ -1,0 +1,73 @@
+package perceptron
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/snap"
+)
+
+const snapVersion = 1
+
+func appendTables(b []byte, tbls [][]int8) []byte {
+	b = snap.U32(b, uint32(len(tbls)))
+	b = snap.U32(b, uint32(len(tbls[0])))
+	for _, tbl := range tbls {
+		for _, w := range tbl {
+			b = snap.I8(b, w)
+		}
+	}
+	return b
+}
+
+func readTables(r *snap.Reader, tbls [][]int8, what string) error {
+	if n := int(r.U32()); n != len(tbls) {
+		return fmt.Errorf("perceptron: %d %s tables, want %d", n, what, len(tbls))
+	}
+	if n := int(r.U32()); r.Err() == nil && n != len(tbls[0]) {
+		return fmt.Errorf("perceptron: %s table size %d, want %d", what, n, len(tbls[0]))
+	}
+	for _, tbl := range tbls {
+		for i := range tbl {
+			tbl[i] = r.I8()
+		}
+	}
+	return r.Err()
+}
+
+// Snapshot implements bpu.Snapshotter: weights, adaptive threshold
+// state, and history. The Predict→Update scratch is transient (Update
+// consumes it) and excluded; Restore clears it.
+func (p *Perceptron) Snapshot() []byte {
+	var b []byte
+	b = appendTables(b, p.bitTbl)
+	b = appendTables(b, p.segTbl)
+	b = snap.I32(b, p.theta)
+	b = snap.I32(b, p.tc)
+	b = bpu.AppendHistory(b, &p.hist)
+	return snap.Seal(snap.KindPerceptron, snapVersion, b)
+}
+
+// Restore implements bpu.Snapshotter. The receiver must share the
+// snapshotted predictor's Config.
+func (p *Perceptron) Restore(s []byte) error {
+	payload, err := snap.Open(snap.KindPerceptron, snapVersion, s)
+	if err != nil {
+		return err
+	}
+	r := snap.NewReader(payload)
+	if err := readTables(r, p.bitTbl, "bit"); err != nil {
+		return err
+	}
+	if err := readTables(r, p.segTbl, "segment"); err != nil {
+		return err
+	}
+	p.theta = r.I32()
+	p.tc = r.I32()
+	bpu.ReadHistory(r, &p.hist)
+	if err := r.Done(); err != nil {
+		return err
+	}
+	p.valid = false
+	return nil
+}

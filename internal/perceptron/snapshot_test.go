@@ -1,0 +1,17 @@
+package perceptron_test
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/perceptron"
+	"github.com/whisper-sim/whisper/internal/snaptest"
+)
+
+// TestSnapshotFidelity locks the bpu.Snapshotter contract the windowed
+// pipeline engine depends on.
+func TestSnapshotFidelity(t *testing.T) {
+	snaptest.Fidelity(t, func() bpu.Predictor {
+		return perceptron.New(perceptron.DefaultConfig())
+	}, nil)
+}

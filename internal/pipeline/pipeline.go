@@ -120,6 +120,14 @@ type Options struct {
 	// Every setting produces bit-identical results (locked by the
 	// differential tests); the knob exists for testing and comparison.
 	BlockSize int
+	// Parallelism > 1 selects the windowed engine with that many
+	// goroutines (see RunWindowed). A negative BlockSize still forces
+	// the scalar reference engine.
+	Parallelism int
+	// WindowSize is the windowed engine's window length in records
+	// (DefaultWindowSize when 0). Results are bit-identical at every
+	// window size and worker count.
+	WindowSize int
 }
 
 // Run drives pred over the stream and returns the accounting. It uses
@@ -135,6 +143,9 @@ func Run(s trace.Stream, pred bpu.Predictor, opt Options) Result {
 		if _, ok := opt.Hook.(PassiveHook); !ok {
 			return RunScalar(s, pred, opt)
 		}
+	}
+	if opt.Parallelism > 1 {
+		return RunWindowed(s, pred, opt)
 	}
 	return runBatched(s, pred, opt)
 }
@@ -245,9 +256,6 @@ func runBatched(s trace.Stream, pred bpu.Predictor, opt Options) Result {
 	if cfg.Width <= 0 {
 		cfg = DefaultConfig()
 	}
-	fe := frontend.New(cfg.Frontend)
-	var res Result
-	res.WarmupRecords = opt.WarmupRecords
 
 	size := opt.BlockSize
 	if size == 0 {
@@ -255,110 +263,15 @@ func runBatched(s trace.Stream, pred bpu.Predictor, opt Options) Result {
 	}
 	blk := trace.NewBlock(size)
 	size = blk.Cap()
-	bp := bpu.Batch(pred)
-	hook := opt.Hook
-	var passiveAt func(uint64) bool
-	if hook != nil {
-		passiveAt = hook.(PassiveHook).PassiveAt
-	}
-
-	// Span scratch: spanIdx maps the k-th span entry back to its block
-	// position so miss flags land on the right record.
-	spanPC := make([]uint64, size)
-	spanTaken := make([]bool, size)
-	spanMiss := make([]bool, size)
-	spanIdx := make([]int, size)
 	miss := make([]bool, size)
-	spanLen := 0
-	flush := func() {
-		if spanLen == 0 {
-			return
-		}
-		bp.PredictUpdateBatch(spanPC[:spanLen], spanTaken[:spanLen], spanMiss[:spanLen])
-		for k := 0; k < spanLen; k++ {
-			miss[spanIdx[k]] = spanMiss[k]
-		}
-		spanLen = 0
-	}
-
-	var rec trace.Record
-	var instrRemainder uint64
-	var warmup = opt.WarmupRecords
-	var seen uint64
-	measuring := warmup == 0
-	prevTarget := uint64(0)
-	var feAtMeasure frontend.Stats
+	sr := newSpanRunner(pred, opt.Hook, size)
+	a := newAcct(cfg, opt.WarmupRecords)
 
 	for trace.Fill(s, blk) > 0 {
-		n := blk.N
-
-		// Phase A: direction outcomes.
-		for i := 0; i < n; i++ {
-			if blk.Kind[i] == trace.CondBranch {
-				spanPC[spanLen] = blk.PC[i]
-				spanTaken[spanLen] = blk.Taken[i]
-				spanIdx[spanLen] = i
-				spanLen++
-			}
-			if hook != nil && !passiveAt(blk.PC[i]) {
-				flush()
-				blk.Record(i, &rec)
-				hook.OnRecord(&rec)
-			}
-		}
-		flush()
-
-		// Phase B: cycle accounting.
-		for i := 0; i < n; i++ {
-			seen++
-			if !measuring && seen > warmup {
-				measuring = true
-				// Reset measured counters; structures stay warm.
-				res = Result{WarmupRecords: warmup}
-				instrRemainder = 0
-				feAtMeasure = fe.Stats
-			}
-
-			instrs := uint64(blk.Instrs[i]) + 1
-			res.Records++
-			res.Instrs += instrs
-
-			instrRemainder += instrs
-			res.BaseCycles += instrRemainder / uint64(cfg.Width)
-			instrRemainder %= uint64(cfg.Width)
-
-			start := prevTarget
-			if start == 0 {
-				start = blk.PC[i]
-			}
-			res.FrontendCycles += fe.FetchRun(start, blk.Instrs[i]+1)
-
-			blk.Record(i, &rec)
-			feStall, targetSquash := fe.OnControlFlow(&rec)
-			res.FrontendCycles += feStall
-			if targetSquash {
-				res.SquashCycles += uint64(cfg.SquashPenalty)
-				fe.OnSquash()
-			}
-
-			if blk.Kind[i] == trace.CondBranch {
-				res.CondExecs++
-				if miss[i] {
-					res.CondMisp++
-					res.SquashCycles += uint64(cfg.SquashPenalty)
-					fe.OnSquash()
-				}
-			}
-
-			if blk.Taken[i] {
-				prevTarget = blk.Target[i]
-			} else {
-				prevTarget = blk.PC[i] + 4
-			}
-		}
+		sr.phaseA(blk, miss)
+		a.accountBlock(blk, miss, 0, blk.N)
 	}
-	res.Frontend = subStats(fe.Stats, feAtMeasure)
-	res.Cycles = res.BaseCycles + res.SquashCycles + res.FrontendCycles
+	res := a.finish()
 	res.emitTelemetry()
 	return res
 }

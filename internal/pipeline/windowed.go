@@ -1,0 +1,489 @@
+// Within-trace parallel simulation via checkpointed speculative windows.
+//
+// The batched engine (pipeline.go) already splits every block into a
+// prediction phase (A) and an accounting phase (B), and is bit-identical
+// to the scalar loop at any block size. The windowed engine exploits the
+// same split across goroutines:
+//
+//   - The direction predictor's state is trace-determined: updates use
+//     resolved outcomes, never frontend feedback, so a single leader
+//     goroutine runs all of Phase A serially in trace order and every
+//     miss flag it produces is exact — the predictor is never
+//     speculated.
+//   - Phase B state splits into additive outputs (Result counters,
+//     frontend.Stats — summed as per-window deltas in window order) and
+//     a small functional core: the FDIP frontend (exposure counter,
+//     I-cache hierarchy, BTB/RAS/IBTB, path signature). The
+//     width-remainder and fall-through PC at each window start are
+//     recomputed exactly by the leader with integer arithmetic, so the
+//     frontend is the only state a speculative window has to guess.
+//
+// A committer goroutine resolves windows in order. Speculative workers
+// run windows ahead of the commit frontier, starting from a cloned
+// frontend published at an earlier committed boundary, and record
+// canonical checkpoints (frontend.AppendState bytes + delta-so-far) part
+// way through. When the committer reaches a speculated window it either
+// adopts the result outright (the start state was the true boundary
+// state) or replays the window's prefix on the true state until a
+// checkpoint's canonical bytes match, then splices the worker's
+// remaining delta and adopts its end state; if no checkpoint matches it
+// replays the whole window. Canonical-byte equality implies identical
+// future behavior, so every committed number is the number the scalar
+// loop would have produced: the engine is bit-identical at any worker
+// count and window size, which the differential tests and the
+// FuzzWindowedVsScalar target lock down.
+package pipeline
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/frontend"
+	"github.com/whisper-sim/whisper/internal/telemetry"
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// DefaultWindowSize is the windowed engine's window length in records:
+// large enough to amortize boundary clones and checkpoint encodes over
+// tens of milliseconds of Phase B work, small enough to keep several
+// windows in flight on short traces.
+const DefaultWindowSize = 1 << 16
+
+// minSpecWindow is the smallest window speculation is attempted on.
+// Below it the per-window boundary clones and checkpoint encodes cost
+// more than the accounting they could hide, so the engine drops to
+// pure prediction/accounting pipelining (still bit-identical).
+const minSpecWindow = 4096
+
+// WindowedStats describes how a windowed run was scheduled. The values
+// depend on goroutine timing and are observational only — the Result
+// itself is bit-identical regardless.
+type WindowedStats struct {
+	// Windows is the total number of windows committed.
+	Windows uint64
+	// TrueWindows were run on the true path by the committer (warmup
+	// windows, unclaimed windows, and the j<=2 pipelining case).
+	TrueWindows uint64
+	// SpecWindows were run speculatively by workers and adopted.
+	SpecWindows uint64
+	// ExactWindows are speculative windows whose start state was the
+	// true boundary state (or converged to it by window start), adopted
+	// with zero replay.
+	ExactWindows uint64
+	// Replays counts speculative windows that needed a true-path prefix
+	// replay; ReplayedRecords totals the replayed prefix lengths.
+	Replays         uint64
+	ReplayedRecords uint64
+	// SpecRecords totals the records adopted from speculative execution
+	// (window length minus replayed prefix).
+	SpecRecords uint64
+}
+
+// boundary is a committed window boundary published for speculation:
+// the true frontend state after window idx, stats zeroed so worker
+// deltas accumulate from zero. Workers clone it and never mutate it.
+type boundary struct {
+	idx int
+	fe  *frontend.FDIP
+}
+
+// winCheckpoint is a worker-recorded intermediate state: after
+// accounting records [0, pos) of its window the frontend's canonical
+// bytes were canon and the accumulated deltas were res/stats.
+type winCheckpoint struct {
+	pos   int
+	canon []byte
+	res   Result
+	stats frontend.Stats
+}
+
+// winResult is a speculative window's outcome: deltas accumulated from
+// zero, the worker's end frontend (stats zero-based), the boundary the
+// speculation started from, and the checkpoints for splicing.
+type winResult struct {
+	delta   Result
+	endFe   *frontend.FDIP
+	snapIdx int
+	cps     []winCheckpoint
+}
+
+// winJob is one window: a block of records with leader-resolved miss
+// flags and the exact accounting state at the window's edges.
+type winJob struct {
+	k    int
+	blk  *trace.Block
+	miss []bool
+	// startRem/startPrev (and endRem/endPrev) are the width-remainder
+	// and fall-through PC at the window's boundaries, recomputed
+	// exactly by the leader.
+	startSeen          uint64
+	startRem, endRem   uint64
+	startPrev, endPrev uint64
+	// mustTrue marks windows that start before the measure point; the
+	// warmup counter reset is continuous state only the committer has.
+	mustTrue bool
+	// claimed is the ownership word: 0 free, 1 worker, 2 committer.
+	// The leader stores it last when (re)issuing a job, so a stale
+	// claim acquires all field writes.
+	claimed atomic.Int32
+	resCh   chan winResult
+}
+
+const (
+	claimFree      = 0
+	claimWorker    = 1
+	claimCommitter = 2
+)
+
+// RunWindowed runs the windowed parallel engine and returns the same
+// Result the scalar engine would produce. opt.Parallelism <= 1 runs the
+// windowed loop inline; 2 pipelines prediction against accounting; each
+// extra goroutine is a speculative worker. Non-passive hooks fall back
+// to the scalar engine (as in Run).
+func RunWindowed(s trace.Stream, pred bpu.Predictor, opt Options) Result {
+	res, _ := RunWindowedStats(s, pred, opt)
+	return res
+}
+
+// RunWindowedStats is RunWindowed plus the run's scheduling stats.
+func RunWindowedStats(s trace.Stream, pred bpu.Predictor, opt Options) (Result, WindowedStats) {
+	if opt.Hook != nil {
+		if _, ok := opt.Hook.(PassiveHook); !ok {
+			return RunScalar(s, pred, opt), WindowedStats{}
+		}
+	}
+	sp := telemetry.StartSpan("simulate")
+	defer sp.End()
+	cfg := opt.Config
+	if cfg.Width <= 0 {
+		cfg = DefaultConfig()
+	}
+	wsize := opt.WindowSize
+	if wsize <= 0 {
+		wsize = DefaultWindowSize
+	}
+	if opt.Parallelism <= 1 {
+		return runWindowedInline(s, pred, cfg, opt, wsize)
+	}
+	return runWindowedParallel(s, pred, cfg, opt, wsize)
+}
+
+// runWindowedInline is the j<=1 degenerate case: the window loop with
+// no goroutines, equivalent to the batched engine at block size wsize.
+func runWindowedInline(s trace.Stream, pred bpu.Predictor, cfg Config, opt Options, wsize int) (Result, WindowedStats) {
+	var ws WindowedStats
+	blk := trace.NewBlock(wsize)
+	miss := make([]bool, blk.Cap())
+	sr := newSpanRunner(pred, opt.Hook, blk.Cap())
+	a := newAcct(cfg, opt.WarmupRecords)
+	for trace.Fill(s, blk) > 0 {
+		sr.phaseA(blk, miss)
+		a.accountBlock(blk, miss, 0, blk.N)
+		ws.Windows++
+		ws.TrueWindows++
+	}
+	res := a.finish()
+	res.emitTelemetry()
+	ws.emitTelemetry()
+	return res, ws
+}
+
+func runWindowedParallel(s trace.Stream, pred bpu.Predictor, cfg Config, opt Options, wsize int) (Result, WindowedStats) {
+	workers := opt.Parallelism - 2
+	if wsize < minSpecWindow {
+		workers = 0
+	}
+	inflight := workers + 3
+
+	pool := make(chan *winJob, inflight)
+	for i := 0; i < inflight; i++ {
+		j := &winJob{
+			blk:   trace.NewBlock(wsize),
+			resCh: make(chan winResult, 1),
+		}
+		j.miss = make([]bool, j.blk.Cap())
+		pool <- j
+	}
+	jobs := make(chan *winJob, inflight)
+	specCh := make(chan *winJob, inflight)
+
+	published := atomic.Pointer[boundary]{}
+	published.Store(&boundary{idx: -1, fe: frontend.New(cfg.Frontend)})
+	var specEnabled atomic.Bool
+	specEnabled.Store(true)
+
+	warmup := opt.WarmupRecords
+
+	// Leader: fills windows, resolves every direction outcome in trace
+	// order (Phase A, hooks included), and computes the exact boundary
+	// accounting state for each window.
+	go func() {
+		sr := newSpanRunner(pred, opt.Hook, wsize)
+		var seen, rem, prev uint64
+		measuring := warmup == 0
+		k := 0
+		for {
+			job := <-pool
+			if trace.Fill(s, job.blk) == 0 {
+				break
+			}
+			sr.phaseA(job.blk, job.miss)
+
+			job.k = k
+			job.startSeen, job.startRem, job.startPrev = seen, rem, prev
+			job.mustTrue = !measuring
+			blk := job.blk
+			for i := 0; i < blk.N; i++ {
+				seen++
+				if !measuring && seen > warmup {
+					measuring = true
+					rem = 0
+				}
+				rem = (rem + uint64(blk.Instrs[i]) + 1) % uint64(cfg.Width)
+				if blk.Taken[i] {
+					prev = blk.Target[i]
+				} else {
+					prev = blk.PC[i] + 4
+				}
+			}
+			job.endRem, job.endPrev = rem, prev
+
+			init := int32(claimFree)
+			if job.mustTrue || workers == 0 {
+				init = claimCommitter
+			}
+			job.claimed.Store(init)
+			jobs <- job
+			if init == claimFree {
+				select {
+				case specCh <- job:
+				default:
+				}
+			}
+			k++
+		}
+		close(jobs)
+		close(specCh)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range specCh {
+				if !specEnabled.Load() {
+					continue
+				}
+				if !job.claimed.CompareAndSwap(claimFree, claimWorker) {
+					continue
+				}
+				job.resCh <- speculateWindow(cfg, warmup, job, published.Load())
+			}
+		}()
+	}
+
+	// Committer: resolves windows in order on the true state.
+	var ws WindowedStats
+	a := newAcct(cfg, warmup)
+	var canonScratch []byte
+	replayHist := telemetry.Default().Histogram("whisper_sim_replay_records")
+	// Speculation throttle: when recent speculative windows mostly end
+	// up replayed, stop claiming and publishing for a while — the
+	// engine degrades to pure A/B pipelining instead of burning cores
+	// on doomed speculation — then probe again.
+	var recentSpec, recentReplayed uint64
+	var disabledLeft int
+
+	for job := range jobs {
+		n := job.blk.N
+		ws.Windows++
+		runTrue := job.claimed.Load() == claimCommitter ||
+			job.claimed.CompareAndSwap(claimFree, claimCommitter)
+		if runTrue {
+			a.accountBlock(job.blk, job.miss, 0, n)
+			ws.TrueWindows++
+		} else {
+			r := <-job.resCh
+			var replayed int
+			replayed, canonScratch = a.adoptOrReplay(job, r, canonScratch)
+			ws.SpecWindows++
+			ws.SpecRecords += uint64(n - replayed)
+			if replayed == 0 {
+				ws.ExactWindows++
+			} else {
+				ws.Replays++
+				ws.ReplayedRecords += uint64(replayed)
+				replayHist.Observe(uint64(replayed))
+			}
+			recentSpec += uint64(n)
+			recentReplayed += uint64(replayed)
+		}
+
+		if workers > 0 {
+			if disabledLeft > 0 {
+				disabledLeft--
+				if disabledLeft == 0 {
+					specEnabled.Store(true)
+				}
+			} else if recentSpec >= 8*uint64(wsize) {
+				if recentReplayed*10 > recentSpec*6 {
+					specEnabled.Store(false)
+					disabledLeft = 24
+				}
+				recentSpec, recentReplayed = 0, 0
+			}
+			if specEnabled.Load() {
+				c := a.fe.Clone()
+				c.Stats = frontend.Stats{}
+				published.Store(&boundary{idx: job.k, fe: c})
+			}
+		}
+		pool <- job
+	}
+	wg.Wait()
+
+	res := a.finish()
+	res.emitTelemetry()
+	ws.emitTelemetry()
+	return res, ws
+}
+
+// adoptOrReplay resolves a speculated window against the true state:
+// it replays the window's records on a's frontier segment by segment,
+// and at each of the worker's checkpoints compares the true frontend's
+// canonical bytes with the recorded ones. On the first match the
+// remainder of the worker's run is provably exact, so the remaining
+// delta is spliced in and the worker's end state adopted; when no
+// checkpoint matches the whole window has been replayed true. Either
+// way a holds exactly the state the scalar loop would. Returns the
+// replayed prefix length and the (possibly regrown) scratch buffer.
+func (a *acct) adoptOrReplay(job *winJob, r winResult, scratch []byte) (int, []byte) {
+	n := job.blk.N
+	replayed := 0
+	for _, cp := range r.cps {
+		a.accountBlock(job.blk, job.miss, replayed, cp.pos)
+		replayed = cp.pos
+		scratch = a.fe.AppendState(scratch[:0])
+		if !bytes.Equal(scratch, cp.canon) {
+			continue
+		}
+		a.res.add(subResult(r.delta, cp.res))
+		stats := addStats(a.fe.Stats, subStats(r.endFe.Stats, cp.stats))
+		a.fe = r.endFe
+		a.fe.Stats = stats
+		a.seen += uint64(n - replayed)
+		a.instrRemainder = job.endRem
+		a.prevTarget = job.endPrev
+		return replayed, scratch
+	}
+	a.accountBlock(job.blk, job.miss, replayed, n)
+	return n, scratch
+}
+
+// speculateWindow runs job's window from a cloned boundary frontend,
+// recording canonical checkpoints for the committer to splice against.
+func speculateWindow(cfg Config, warmup uint64, job *winJob, b *boundary) winResult {
+	wa := acct{
+		cfg:            cfg,
+		fe:             b.fe.Clone(),
+		instrRemainder: job.startRem,
+		prevTarget:     job.startPrev,
+		seen:           job.startSeen,
+		warmup:         warmup,
+		measuring:      true,
+	}
+	n := job.blk.N
+	r := winResult{snapIdx: b.idx}
+	pos := 0
+	for _, p := range checkpointPositions(n) {
+		wa.accountBlock(job.blk, job.miss, pos, p)
+		pos = p
+		r.cps = append(r.cps, winCheckpoint{
+			pos:   p,
+			canon: wa.fe.AppendState(nil),
+			res:   wa.res,
+			stats: wa.fe.Stats,
+		})
+	}
+	wa.accountBlock(job.blk, job.miss, pos, n)
+	r.delta = wa.res
+	r.endFe = wa.fe
+	return r
+}
+
+// checkpointPositions picks the splice points for a window of n
+// records: always the window start (a converged boundary adopts with
+// zero replay), plus quarter points on windows long enough that the
+// canonical encodes stay cheap relative to accounting.
+func checkpointPositions(n int) []int {
+	if n < 4 {
+		return []int{0}
+	}
+	ps := []int{0}
+	if n >= 256 {
+		for _, p := range []int{n / 4, n / 2, 3 * n / 4} {
+			if p > ps[len(ps)-1] {
+				ps = append(ps, p)
+			}
+		}
+	} else {
+		ps = append(ps, n/2)
+	}
+	return ps
+}
+
+// add accumulates a window delta into the running result. Cycles,
+// Frontend, and WarmupRecords are derived at finish time and excluded.
+func (r *Result) add(d Result) {
+	r.Records += d.Records
+	r.Instrs += d.Instrs
+	r.CondExecs += d.CondExecs
+	r.CondMisp += d.CondMisp
+	r.BaseCycles += d.BaseCycles
+	r.SquashCycles += d.SquashCycles
+	r.FrontendCycles += d.FrontendCycles
+}
+
+// subResult returns the per-field difference a-b of two window deltas.
+func subResult(a, b Result) Result {
+	return Result{
+		Records:        a.Records - b.Records,
+		Instrs:         a.Instrs - b.Instrs,
+		CondExecs:      a.CondExecs - b.CondExecs,
+		CondMisp:       a.CondMisp - b.CondMisp,
+		BaseCycles:     a.BaseCycles - b.BaseCycles,
+		SquashCycles:   a.SquashCycles - b.SquashCycles,
+		FrontendCycles: a.FrontendCycles - b.FrontendCycles,
+	}
+}
+
+// addStats sums two frontend stat deltas.
+func addStats(a, b frontend.Stats) frontend.Stats {
+	return frontend.Stats{
+		ExposedMissCycles: a.ExposedMissCycles + b.ExposedMissCycles,
+		BTBMissCycles:     a.BTBMissCycles + b.BTBMissCycles,
+		L1iAccesses:       a.L1iAccesses + b.L1iAccesses,
+		L1iMisses:         a.L1iMisses + b.L1iMisses,
+		ExposedMisses:     a.ExposedMisses + b.ExposedMisses,
+		TargetMispredicts: a.TargetMispredicts + b.TargetMispredicts,
+	}
+}
+
+// emitTelemetry flushes the windowed scheduling stats into the process
+// registry, one batched update per run (see Result.emitTelemetry).
+func (ws *WindowedStats) emitTelemetry() {
+	r := telemetry.Default()
+	if r == nil {
+		return
+	}
+	r.Counter("whisper_sim_windows_total").Add(ws.Windows)
+	r.Counter("whisper_sim_windows_true_total").Add(ws.TrueWindows)
+	r.Counter("whisper_sim_windows_speculative_total").Add(ws.SpecWindows)
+	r.Counter("whisper_sim_windows_exact_total").Add(ws.ExactWindows)
+	r.Counter("whisper_sim_window_replays_total").Add(ws.Replays)
+	r.Counter("whisper_sim_replayed_records_total").Add(ws.ReplayedRecords)
+	r.Counter("whisper_sim_speculated_records_total").Add(ws.SpecRecords)
+}

@@ -1,0 +1,246 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/frontend"
+	"github.com/whisper-sim/whisper/internal/tage"
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+// TestWindowedMatchesScalar is the windowed-engine equivalence lock:
+// for every predictor, a spread of window sizes (including 1, a prime,
+// and windows that leave a partial tail), and worker counts from the
+// inline loop through heavy speculation, the windowed engine must
+// produce a bit-identical Result to the scalar reference.
+func TestWindowedMatchesScalar(t *testing.T) {
+	apps := []string{"mysql", "kafka"}
+	const records = 12000
+	for _, p := range diffPredictors {
+		for _, appName := range apps {
+			a := workload.DataCenterApp(appName)
+			if a == nil {
+				t.Fatalf("app %s missing", appName)
+			}
+			want := RunScalar(a.Stream(0, records), p.mk(), Options{Config: DefaultConfig()})
+			for _, ws := range []int{613, 4096, 1 << 16} {
+				for _, par := range []int{1, 2, 4, 8} {
+					got := RunWindowed(a.Stream(0, records), p.mk(), Options{
+						Config:      DefaultConfig(),
+						WindowSize:  ws,
+						Parallelism: par,
+					})
+					if got != want {
+						t.Errorf("%s/%s window=%d j=%d: windowed %+v != scalar %+v",
+							p.name, appName, ws, par, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedMatchesBatched closes the three-engine triangle on the
+// Run dispatcher itself: scalar, batched, and windowed must agree when
+// selected through Options.
+func TestWindowedMatchesBatched(t *testing.T) {
+	recs := randomRecords(11, 30000)
+	mk := func() bpu.Predictor { return tage.New(tage.Config{SizeKB: 8}) }
+	want := Run(trace.NewSliceStream(recs), mk(), Options{Config: DefaultConfig(), BlockSize: -1})
+	batched := Run(trace.NewSliceStream(recs), mk(), Options{Config: DefaultConfig()})
+	if batched != want {
+		t.Fatalf("batched %+v != scalar %+v", batched, want)
+	}
+	for _, par := range []int{2, 4, 8} {
+		for _, ws := range []int{1, 2048, 8192} {
+			got := Run(trace.NewSliceStream(recs), mk(), Options{
+				Config:      DefaultConfig(),
+				Parallelism: par,
+				WindowSize:  ws,
+			})
+			if got != want {
+				t.Errorf("j=%d window=%d: windowed via Run %+v != scalar %+v", par, ws, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowedWarmupEdges sweeps warmup counts around window
+// boundaries: warmup inside the first window, exactly on a boundary,
+// spanning several windows, and covering the whole trace.
+func TestWindowedWarmupEdges(t *testing.T) {
+	recs := randomRecords(5, 10000)
+	mk := func() bpu.Predictor { return bpu.NewGShare(12, 10) }
+	for _, warmup := range []uint64{0, 1, 999, 1000, 1001, 5000, 9999, 10000} {
+		opt := Options{Config: DefaultConfig(), WarmupRecords: warmup}
+		want := RunScalar(trace.NewSliceStream(recs), mk(), opt)
+		for _, par := range []int{1, 4} {
+			opt.Parallelism = par
+			opt.WindowSize = 1000
+			got := RunWindowed(trace.NewSliceStream(recs), mk(), opt)
+			if got != want {
+				t.Errorf("warmup=%d j=%d: %+v != %+v", warmup, par, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowedEmptyStream checks the no-records edge on every engine
+// topology.
+func TestWindowedEmptyStream(t *testing.T) {
+	for _, par := range []int{1, 2, 4} {
+		got := RunWindowed(trace.NewSliceStream(nil), bpu.NewBimodal(10), Options{
+			Config:        DefaultConfig(),
+			WarmupRecords: 7,
+			Parallelism:   par,
+		})
+		want := RunScalar(trace.NewSliceStream(nil), bpu.NewBimodal(10), Options{
+			Config:        DefaultConfig(),
+			WarmupRecords: 7,
+		})
+		if got != want {
+			t.Errorf("j=%d: empty stream %+v != %+v", par, got, want)
+		}
+	}
+}
+
+// TestWindowedNonPassiveHookFallsBack mirrors the batched engine's
+// contract: a hook without PassiveAt forces the scalar reference loop.
+func TestWindowedNonPassiveHookFallsBack(t *testing.T) {
+	recs := randomRecords(3, 2000)
+	hook := &countingHook{}
+	got := RunWindowed(trace.NewSliceStream(recs), bpu.NewBimodal(10), Options{
+		Config:      DefaultConfig(),
+		Hook:        hook,
+		Parallelism: 4,
+	})
+	want := RunScalar(trace.NewSliceStream(recs), bpu.NewBimodal(10), Options{
+		Config: DefaultConfig(),
+		Hook:   &countingHook{},
+	})
+	if got != want {
+		t.Fatalf("fallback mismatch: %+v != %+v", got, want)
+	}
+	if hook.n != len(recs) {
+		t.Fatalf("hook saw %d records, want %d", hook.n, len(recs))
+	}
+}
+
+type countingHook struct{ n int }
+
+func (h *countingHook) OnRecord(rec *trace.Record) { h.n++ }
+
+// buildWindowJob assembles the winJob a leader would produce for
+// records [lo, hi) of recs, with exact boundary state and miss flags.
+func buildWindowJob(t *testing.T, cfg Config, recs []trace.Record, miss []bool, lo, hi int) *winJob {
+	t.Helper()
+	job := &winJob{blk: trace.NewBlock(hi - lo), miss: miss[lo:hi]}
+	for i := lo; i < hi; i++ {
+		r := recs[i]
+		job.blk.Append(&r)
+	}
+	var rem, prev uint64
+	for i := 0; i < hi; i++ {
+		if i == lo {
+			job.startSeen, job.startRem, job.startPrev = uint64(i), rem, prev
+		}
+		rem = (rem + uint64(recs[i].Instrs) + 1) % uint64(cfg.Width)
+		if recs[i].Taken {
+			prev = recs[i].Target
+		} else {
+			prev = recs[i].PC + 4
+		}
+	}
+	job.endRem, job.endPrev = rem, prev
+	return job
+}
+
+// TestSpeculationSplice forces the speculative path deterministically,
+// with no goroutines: a window is speculated from boundaries of varying
+// staleness (the true boundary, a half-window-stale state, and a
+// completely cold frontend) and resolved through the committer's
+// adopt-or-replay step. Every case must land on exactly the state and
+// counters the true path produces; the true-boundary case must adopt
+// with zero replay.
+func TestSpeculationSplice(t *testing.T) {
+	cfg := DefaultConfig()
+	const n = 20000
+	const lo = 10000
+	recs := randomRecords(9, n)
+
+	// Leader view: exact miss flags for the whole trace.
+	blk := trace.NewBlock(n)
+	for i := range recs {
+		blk.Append(&recs[i])
+	}
+	miss := make([]bool, n)
+	newSpanRunner(bpu.NewGShare(12, 10), nil, n).phaseA(blk, miss)
+
+	// True path for reference, and the true accounting state at lo.
+	truth := newAcct(cfg, 0)
+	truth.accountBlock(blk, miss, 0, lo)
+	trueBoundary := truth.fe.Clone()
+	trueBoundary.Stats = frontend.Stats{}
+	truth.accountBlock(blk, miss, lo, n)
+	want := truth.finish()
+
+	stale := newAcct(cfg, 0)
+	stale.accountBlock(blk, miss, 0, lo/2)
+	staleBoundary := stale.fe.Clone()
+	staleBoundary.Stats = frontend.Stats{}
+
+	cases := []struct {
+		name      string
+		b         *boundary
+		wantExact bool
+	}{
+		{"true-boundary", &boundary{idx: 0, fe: trueBoundary}, true},
+		{"stale-boundary", &boundary{idx: -1, fe: staleBoundary}, false},
+		{"cold-boundary", &boundary{idx: -1, fe: frontend.New(cfg.Frontend)}, false},
+	}
+	for _, tc := range cases {
+		job := buildWindowJob(t, cfg, recs, miss, lo, n)
+		r := speculateWindow(cfg, 0, job, tc.b)
+
+		a := newAcct(cfg, 0)
+		a.accountBlock(blk, miss, 0, lo)
+		replayed, _ := a.adoptOrReplay(job, r, nil)
+		got := a.finish()
+		if got != want {
+			t.Errorf("%s: spliced %+v != true %+v", tc.name, got, want)
+		}
+		if tc.wantExact && replayed != 0 {
+			t.Errorf("%s: replayed %d records from the true boundary", tc.name, replayed)
+		}
+		if replayed == job.blk.N && tc.wantExact {
+			t.Errorf("%s: full replay of an exact window", tc.name)
+		}
+	}
+}
+
+// FuzzWindowedVsScalar fuzzes the windowed engine against the scalar
+// reference over random streams, window sizes, worker counts, and
+// warmup windows: the summary must be byte-identical in every case.
+func FuzzWindowedVsScalar(f *testing.F) {
+	f.Add(uint64(1), 100, 2, 1000, 0)
+	f.Add(uint64(2), 613, 4, 9999, 500)
+	f.Add(uint64(3), 1<<14, 8, 20000, 0)
+	f.Add(uint64(4), 1, 3, 777, 776)
+	f.Fuzz(func(t *testing.T, seed uint64, window, par, n, warmup int) {
+		if window < 1 || window > 1<<15 || par < 1 || par > 8 || n < 1 || n > 20000 || warmup < 0 {
+			t.Skip()
+		}
+		recs := randomRecords(seed, n)
+		opt := Options{Config: DefaultConfig(), WarmupRecords: uint64(warmup)}
+		want := RunScalar(trace.NewSliceStream(recs), tage.New(tage.Config{SizeKB: 8}), opt)
+		opt.WindowSize = window
+		opt.Parallelism = par
+		got := RunWindowed(trace.NewSliceStream(recs), tage.New(tage.Config{SizeKB: 8}), opt)
+		if got != want {
+			t.Fatalf("seed=%d window=%d j=%d n=%d warmup=%d: %+v != %+v",
+				seed, window, par, n, warmup, got, want)
+		}
+	})
+}

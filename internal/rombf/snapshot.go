@@ -1,0 +1,60 @@
+package rombf
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/snap"
+)
+
+const snapVersion = 1
+
+// Snapshot implements bpu.Snapshotter. The hint table is
+// construction-time configuration and not encoded; the mutable state is
+// the raw history, the hint-prediction counter, and the underlying
+// predictor's state (which must itself be a Snapshotter).
+func (p *Predictor) Snapshot() []byte {
+	under, ok := p.under.(bpu.Snapshotter)
+	if !ok {
+		panic(fmt.Sprintf("rombf: underlying predictor %s is not a Snapshotter", p.under.Name()))
+	}
+	var b []byte
+	b = bpu.AppendHistory(b, &p.hist)
+	b = snap.U64(b, p.HintPredictions)
+	us := under.Snapshot()
+	b = snap.U32(b, uint32(len(us)))
+	b = append(b, us...)
+	return snap.Seal(snap.KindROMBF, snapVersion, b)
+}
+
+// Restore implements bpu.Snapshotter. The receiver must wrap the same
+// hints and an identically configured underlying predictor.
+func (p *Predictor) Restore(s []byte) error {
+	under, ok := p.under.(bpu.Snapshotter)
+	if !ok {
+		return fmt.Errorf("rombf: underlying predictor %s is not a Snapshotter", p.under.Name())
+	}
+	payload, err := snap.Open(snap.KindROMBF, snapVersion, s)
+	if err != nil {
+		return err
+	}
+	r := snap.NewReader(payload)
+	bpu.ReadHistory(r, &p.hist)
+	hp := r.U64()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	us := make([]byte, n)
+	for i := range us {
+		us[i] = r.U8()
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	if err := under.Restore(us); err != nil {
+		return err
+	}
+	p.HintPredictions = hp
+	return nil
+}

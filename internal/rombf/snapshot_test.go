@@ -1,0 +1,42 @@
+package rombf_test
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/formula"
+	"github.com/whisper-sim/whisper/internal/rombf"
+	"github.com/whisper-sim/whisper/internal/snaptest"
+	"github.com/whisper-sim/whisper/internal/xrand"
+)
+
+// TestSnapshotFidelity locks the bpu.Snapshotter contract for the
+// ROMBF hybrid. Hinted branches route through the static hint table
+// (configuration, not snapshotted state); the step mixes hinted and
+// unhinted PCs so both the raw history and the wrapped predictor are
+// exercised across the snapshot boundary.
+func TestSnapshotFidelity(t *testing.T) {
+	mono, err := formula.NewMonotone(8, 0x1F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hints := map[uint64]rombf.Hint{
+		0x400000: {PC: 0x400000, N: 8, Bias: rombf.BiasTaken},
+		0x400100: {PC: 0x400100, N: 8, Bias: rombf.BiasNotTaken},
+		0x400200: {PC: 0x400200, N: 8, Bias: rombf.BiasNone, Mono: mono},
+	}
+	mk := func() bpu.Predictor {
+		return rombf.NewPredictor(bpu.NewGShare(12, 10), hints, 8)
+	}
+	step := func(p bpu.Predictor, r *xrand.Rand, i int) {
+		var pc uint64
+		if r.Bool(0.25) { // hinted branch
+			pc = 0x400000 + uint64(r.Intn(3))*0x100
+		} else {
+			pc = 0x500000 + r.Uint64n(512)*4
+		}
+		p.Predict(pc)
+		p.Update(pc, r.Bool(0.5))
+	}
+	snaptest.Fidelity(t, mk, step)
+}

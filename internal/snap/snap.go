@@ -1,0 +1,168 @@
+// Package snap provides the canonical binary codec shared by every
+// Snapshot()/Restore() implementation in the simulator. Snapshots are
+// deterministic, self-framing byte strings: the same logical state
+// always encodes to the same bytes (map contents are emitted in a
+// canonical order by callers), so snapshots can be compared with
+// bytes.Equal, content-addressed, or persisted alongside the store's
+// WSPA artifacts.
+//
+// Framing mirrors the store's discipline: a 4-byte magic, a kind byte
+// identifying the component, a version byte, the payload, and a
+// trailing CRC32 over everything before it.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic prefixes every sealed snapshot.
+const Magic = "WSNP"
+
+// Component kinds. Each snapshotting component owns one so a snapshot
+// restored into the wrong component fails loudly instead of silently.
+const (
+	KindTAGE       byte = 1
+	KindMTAGE      byte = 2
+	KindPerceptron byte = 3
+	KindROMBF      byte = 4
+	KindRuntime    byte = 5
+	KindBimodal    byte = 6
+	KindGShare     byte = 7
+	KindFrontend   byte = 8
+)
+
+var (
+	ErrBadMagic  = errors.New("snap: bad magic")
+	ErrKind      = errors.New("snap: wrong component kind")
+	ErrVersion   = errors.New("snap: unsupported version")
+	ErrTruncated = errors.New("snap: truncated snapshot")
+	ErrCorrupt   = errors.New("snap: checksum mismatch")
+)
+
+// Seal frames payload as a complete snapshot for the given kind.
+func Seal(kind, version byte, payload []byte) []byte {
+	out := make([]byte, 0, len(Magic)+2+len(payload)+4)
+	out = append(out, Magic...)
+	out = append(out, kind, version)
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// Open validates framing and returns the payload. The payload aliases
+// the input; callers must not retain it past the input's lifetime.
+func Open(kind, version byte, b []byte) ([]byte, error) {
+	if len(b) < len(Magic)+2+4 {
+		return nil, ErrTruncated
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrCorrupt
+	}
+	if b[len(Magic)] != kind {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrKind, b[len(Magic)], kind)
+	}
+	if b[len(Magic)+1] != version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, b[len(Magic)+1], version)
+	}
+	return body[len(Magic)+2:], nil
+}
+
+// Append helpers: fixed-width little-endian primitives.
+
+func U8(b []byte, v uint8) []byte   { return append(b, v) }
+func U16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func U32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func U64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func I16(b []byte, v int16) []byte  { return U16(b, uint16(v)) }
+func I8(b []byte, v int8) []byte    { return append(b, byte(v)) }
+func I32(b []byte, v int32) []byte  { return U32(b, uint32(v)) }
+
+func Bool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// Reader decodes a payload written with the append helpers. Reads past
+// the end latch the error and return zero values, so callers can decode
+// a full structure and check Err once.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = ErrTruncated
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *Reader) U8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *Reader) U16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (r *Reader) U32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (r *Reader) U64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *Reader) I8() int8   { return int8(r.U8()) }
+func (r *Reader) I16() int16 { return int16(r.U16()) }
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Err reports the first decode error, or ErrTruncated via Done if
+// trailing bytes remain when the caller expected none.
+func (r *Reader) Err() error { return r.err }
+
+// Done errors unless the payload was consumed exactly.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("snap: %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+// Package snaptest is the shared property harness behind every
+// predictor's snapshot-fidelity tests. It drives two independently
+// constructed instances through the same deterministic branch stream
+// and enforces the bpu.Snapshotter contract at several split points:
+//
+//   - Canonical encoding: instances in the same logical state produce
+//     byte-identical snapshots (catches map-iteration-order leaks).
+//   - Restore fidelity: restoring a snapshot into a fresh same-config
+//     instance yields identical predictions over any suffix and an
+//     identical final snapshot.
+//   - Round-trip identity: Snapshot after Restore re-encodes to the
+//     original byte string.
+//   - No aliasing: Restore must not retain the input slice.
+//   - Corruption safety: truncated or bit-flipped snapshots are
+//     rejected with an error, never silently accepted.
+//
+// Each predictor package keeps a thin snapshot_test.go that calls
+// Fidelity with its own constructors; the windowed pipeline engine
+// (internal/pipeline) relies on exactly these properties to verify
+// speculative windows by comparing canonical state bytes.
+package snaptest
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/xrand"
+)
+
+// Step advances predictor p by one branch record. Implementations must
+// be deterministic in (r, i) — draw the same random values on every
+// call — so two instances can be driven through identical streams.
+type Step func(p bpu.Predictor, r *xrand.Rand, i int)
+
+// DefaultStep predicts and trains a pseudo-random conditional branch
+// from a 1024-entry PC working set with mixed per-PC bias.
+func DefaultStep(p bpu.Predictor, r *xrand.Rand, i int) {
+	pc := 0x400000 + r.Uint64n(1024)*4
+	p.Predict(pc)
+	// Per-PC bias plus noise: exercises both strongly and weakly
+	// biased table entries.
+	taken := (pc>>2)%3 == 0 || r.Bool(0.3)
+	p.Update(pc, taken)
+}
+
+// Fidelity checks the Snapshotter contract for the predictor built by
+// mk. The predictor must implement bpu.Snapshotter; step may be nil to
+// use DefaultStep.
+func Fidelity(t *testing.T, mk func() bpu.Predictor, step Step) {
+	t.Helper()
+	if step == nil {
+		step = DefaultStep
+	}
+	const n = 3000
+	for _, split := range []int{0, 1, n / 3, n - 1, n} {
+		run(t, mk, step, split, n)
+	}
+	corruption(t, mk, step)
+}
+
+func drive(p bpu.Predictor, step Step, seed uint64, from, to int) {
+	r := xrand.New(seed)
+	for i := from; i < to; i++ {
+		step(p, r, i)
+	}
+}
+
+func run(t *testing.T, mk func() bpu.Predictor, step Step, split, n int) {
+	t.Helper()
+	const seed = 0x5eed
+	a := mk()
+	snapA, ok := a.(bpu.Snapshotter)
+	if !ok {
+		t.Fatalf("%s does not implement bpu.Snapshotter", a.Name())
+	}
+	drive(a, step, seed, 0, split)
+	s1 := snapA.Snapshot()
+
+	// Canonical: an independent instance driven identically encodes to
+	// the same bytes.
+	twin := mk()
+	drive(twin, step, seed, 0, split)
+	if !bytes.Equal(twin.(bpu.Snapshotter).Snapshot(), s1) {
+		t.Fatalf("split %d: identical histories, different snapshots (non-canonical encoding)", split)
+	}
+
+	// Restore into a fresh instance; round-trip must re-encode
+	// identically, and Restore must not alias the input slice.
+	b := mk()
+	snapB := b.(bpu.Snapshotter)
+	input := append([]byte(nil), s1...)
+	if err := snapB.Restore(input); err != nil {
+		t.Fatalf("split %d: Restore: %v", split, err)
+	}
+	for i := range input {
+		input[i] ^= 0xFF
+	}
+	if got := snapB.Snapshot(); !bytes.Equal(got, s1) {
+		t.Fatalf("split %d: snapshot round-trip mismatch (or Restore aliased its input)", split)
+	}
+
+	// Suffix equivalence: a and the restored b must behave identically
+	// from here on. Both run the same Step stream; probes compare the
+	// predictions themselves on a rotating PC set.
+	ra, rb := xrand.New(seed+1), xrand.New(seed+1)
+	for i := split; i < n; i++ {
+		step(a, ra, i)
+		step(b, rb, i)
+		if i%97 == 0 {
+			pc := 0x400000 + uint64(i%1024)*4
+			if pa, pb := a.Predict(pc), b.Predict(pc); pa != pb {
+				t.Fatalf("split %d: prediction diverges at suffix step %d (pc %#x): %v vs %v",
+					split, i, pc, pa, pb)
+			}
+		}
+	}
+	fa, fb := snapA.Snapshot(), snapB.Snapshot()
+	if !bytes.Equal(fa, fb) {
+		t.Fatalf("split %d: final snapshots diverge after identical suffix", split)
+	}
+}
+
+func corruption(t *testing.T, mk func() bpu.Predictor, step Step) {
+	t.Helper()
+	p := mk()
+	drive(p, step, 0xbad5eed, 0, 500)
+	s := p.(bpu.Snapshotter).Snapshot()
+
+	fresh := func() bpu.Snapshotter { return mk().(bpu.Snapshotter) }
+	if err := fresh().Restore(s[:len(s)/2]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if err := fresh().Restore(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	// Flip one bit somewhere in the body; the checksum must catch it.
+	for _, pos := range []int{len(s) / 3, 2 * len(s) / 3, len(s) - 1} {
+		bad := append([]byte(nil), s...)
+		bad[pos] ^= 1
+		if err := fresh().Restore(bad); err == nil {
+			t.Errorf("bit flip at %d accepted", pos)
+		}
+	}
+}

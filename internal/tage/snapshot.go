@@ -1,0 +1,157 @@
+package tage
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/snap"
+)
+
+const snapVersion = 1
+
+// Snapshot implements bpu.Snapshotter: a canonical encoding of all
+// mutable predictor state. The transient Predict→Update metadata is
+// not included — Update consumes it, so at record boundaries (the only
+// points the engines snapshot at) it is always dead; Restore clears it.
+// The allocator's RNG position and the update counter driving periodic
+// usefulness aging are included, so a restored predictor replays the
+// exact allocation and aging sequence of the original.
+func (t *TageSCL) Snapshot() []byte {
+	var b []byte
+	b = snap.U32(b, uint32(len(t.base)))
+	for i := range t.base {
+		b = snap.I16(b, t.base[i].RawValue())
+	}
+	b = snap.U32(b, uint32(len(t.tables[0])))
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			e := &t.tables[i][j]
+			b = snap.U16(b, e.tag)
+			b = snap.I16(b, e.ctr.RawValue())
+			b = snap.U8(b, e.u)
+			b = snap.Bool(b, e.live)
+		}
+	}
+	b = snap.U32(b, uint32(len(t.loop)))
+	for i := range t.loop {
+		e := &t.loop[i]
+		b = snap.U16(b, e.tag)
+		b = snap.U16(b, e.pastIter)
+		b = snap.U16(b, e.curIter)
+		b = snap.U8(b, e.conf)
+		b = snap.U8(b, e.age)
+		b = snap.Bool(b, e.dir)
+		b = snap.Bool(b, e.live)
+	}
+	b = snap.U32(b, uint32(len(t.scTables)))
+	b = snap.U32(b, uint32(len(t.scTables[0])))
+	for _, tbl := range t.scTables {
+		for _, w := range tbl {
+			b = snap.I8(b, w)
+		}
+	}
+	b = snap.I16(b, t.useSC.RawValue())
+	b = snap.I16(b, t.useAltOnNA.RawValue())
+	b = bpu.AppendHistory(b, &t.hist)
+	for _, s := range t.rng.State() {
+		b = snap.U64(b, s)
+	}
+	b = snap.U64(b, t.updates)
+	sup := make([]uint64, 0, len(t.suppressed))
+	for pc := range t.suppressed {
+		sup = append(sup, pc)
+	}
+	sort.Slice(sup, func(i, j int) bool { return sup[i] < sup[j] })
+	b = snap.U32(b, uint32(len(sup)))
+	for _, pc := range sup {
+		b = snap.U64(b, pc)
+	}
+	return snap.Seal(snap.KindTAGE, snapVersion, b)
+}
+
+// Restore implements bpu.Snapshotter. The receiver must have been
+// built with the same Config as the snapshotted predictor.
+func (t *TageSCL) Restore(s []byte) error {
+	payload, err := snap.Open(snap.KindTAGE, snapVersion, s)
+	if err != nil {
+		return err
+	}
+	r := snap.NewReader(payload)
+	if n := int(r.U32()); n != len(t.base) {
+		return fmt.Errorf("tage: base size %d, want %d", n, len(t.base))
+	}
+	for i := range t.base {
+		if err := t.base[i].SetRawValue(r.I16()); err != nil {
+			return err
+		}
+	}
+	if n := int(r.U32()); n != len(t.tables[0]) {
+		return fmt.Errorf("tage: tagged size %d, want %d", n, len(t.tables[0]))
+	}
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			e := &t.tables[i][j]
+			e.tag = r.U16()
+			e.ctr = bpu.NewCounter(3)
+			if err := e.ctr.SetRawValue(r.I16()); err != nil {
+				return err
+			}
+			e.u = r.U8()
+			e.live = r.Bool()
+		}
+	}
+	if n := int(r.U32()); n != len(t.loop) {
+		return fmt.Errorf("tage: loop size %d, want %d", n, len(t.loop))
+	}
+	for i := range t.loop {
+		e := &t.loop[i]
+		e.tag = r.U16()
+		e.pastIter = r.U16()
+		e.curIter = r.U16()
+		e.conf = r.U8()
+		e.age = r.U8()
+		e.dir = r.Bool()
+		e.live = r.Bool()
+	}
+	if n := int(r.U32()); n != len(t.scTables) {
+		return fmt.Errorf("tage: sc table count %d, want %d", n, len(t.scTables))
+	}
+	if n := int(r.U32()); n != len(t.scTables[0]) {
+		return fmt.Errorf("tage: sc size %d, want %d", n, len(t.scTables[0]))
+	}
+	for _, tbl := range t.scTables {
+		for i := range tbl {
+			tbl[i] = r.I8()
+		}
+	}
+	if err := t.useSC.SetRawValue(r.I16()); err != nil {
+		return err
+	}
+	if err := t.useAltOnNA.SetRawValue(r.I16()); err != nil {
+		return err
+	}
+	bpu.ReadHistory(r, &t.hist)
+	var rs [4]uint64
+	for i := range rs {
+		rs[i] = r.U64()
+	}
+	t.updates = r.U64()
+	nSup := int(r.U32())
+	var sup map[uint64]bool
+	if nSup > 0 {
+		sup = make(map[uint64]bool, nSup)
+		for i := 0; i < nSup; i++ {
+			sup[r.U64()] = true
+		}
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	if err := t.rng.SetState(rs); err != nil {
+		return err
+	}
+	t.suppressed = sup
+	t.last.valid = false
+	return nil
+}

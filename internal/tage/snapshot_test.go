@@ -1,0 +1,26 @@
+package tage_test
+
+import (
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/snaptest"
+	"github.com/whisper-sim/whisper/internal/tage"
+)
+
+// TestSnapshotFidelity locks the bpu.Snapshotter contract the windowed
+// pipeline engine depends on: canonical encoding, restore-into-fresh
+// suffix equivalence, and encode/decode/re-encode identity.
+func TestSnapshotFidelity(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		cfg  tage.Config
+	}{
+		{"64KB", tage.DefaultConfig()},
+		{"8KB", tage.Config{SizeKB: 8}},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			snaptest.Fidelity(t, func() bpu.Predictor { return tage.New(c.cfg) }, nil)
+		})
+	}
+}
