@@ -324,7 +324,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	slower := 0
 	windowedSlower := 0
 	for _, appName := range c.apps {
-		app := workload.DataCenterApp(appName)
+		app := workload.AppByName(appName)
 		if app == nil {
 			fmt.Fprintf(stderr, "bench: unknown app %q\n", appName)
 			return 2

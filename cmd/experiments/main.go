@@ -7,12 +7,20 @@
 //	            [-apps mysql,kafka] [-j N] [-block N] [-sim-j N]
 //	            [-sim-window N] [-progress] [-timing]
 //	            [-csv] [-cache DIR] [-no-cache] [-journal FILE]
-//	            [-debug-addr ADDR]
+//	            [-debug-addr ADDR] [-trace-file FILE [-trace-format F]]
 //
 // Without -only it runs the complete suite in paper order. Results print
 // as aligned text tables (or CSV with -csv); docs/experiments.md maps
 // every id to its paper table or figure and records the paper-vs-measured
 // comparison for a small-scale run.
+//
+// Two studies are outside the default suite. "-only transfer" runs the
+// cross-workload hint-transfer matrix (train on every app, test on every
+// app — quadratic in the app count, so opt-in; see docs/traces.md).
+// -trace-file FILE replaces the suite entirely: it imports an external
+// branch trace (text or WSPT binary, auto-detected or forced with
+// -trace-format) and evaluates Whisper against the 64KB TAGE-SC-L
+// baseline over the imported window.
 //
 // Independent (app, input, config) simulation units fan out over -j
 // workers; the tables are byte-identical at every -j, so the flag is
@@ -55,6 +63,8 @@ import (
 	"github.com/whisper-sim/whisper/internal/stats"
 	"github.com/whisper-sim/whisper/internal/store"
 	"github.com/whisper-sim/whisper/internal/telemetry"
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/traceio"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
 
@@ -74,6 +84,8 @@ type config struct {
 	specPath  string
 	validate  bool
 	scenario  *spec.Scenario
+	tracePath string
+	traceRecs []trace.Record
 }
 
 // run reports whether the experiment id is selected (-only empty means
@@ -103,6 +115,8 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	specFlag := fs.String("spec", "", "run a declarative workload spec (YAML/JSON; see docs/specs.md) instead of the paper suite")
 	validateFlag := fs.Bool("validate", false, "with -spec: parse, compile and summarize the spec without simulating")
+	traceFlag := fs.String("trace-file", "", "evaluate Whisper over an imported branch trace (see docs/traces.md) instead of the paper suite")
+	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary, or wbt")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -144,7 +158,7 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	if *appsFlag != "" {
 		var apps []*workload.App
 		for _, name := range strings.Split(*appsFlag, ",") {
-			app := workload.DataCenterApp(strings.TrimSpace(name))
+			app := workload.AppByName(strings.TrimSpace(name))
 			if app == nil {
 				return nil, fmt.Errorf("unknown app %q", name)
 			}
@@ -168,6 +182,9 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 		if *appsFlag != "" {
 			return nil, fmt.Errorf("-spec and -apps conflict: the spec's mix selects the applications")
 		}
+		if *traceFlag != "" {
+			return nil, fmt.Errorf("-trace-file and -spec conflict: each replaces the paper suite")
+		}
 		s, err := spec.Load(*specFlag)
 		if err != nil {
 			return nil, err
@@ -179,6 +196,23 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 		c.specPath = *specFlag
 		c.validate = *validateFlag
 		c.scenario = sc
+	}
+	if *traceFlag != "" {
+		if *appsFlag != "" {
+			return nil, fmt.Errorf("-trace-file and -apps conflict: the trace is the workload")
+		}
+		format, err := traceio.ParseFormat(*traceFormatFlag)
+		if err != nil {
+			return nil, err
+		}
+		recs, _, err := traceio.LoadFile(*traceFlag, format)
+		if err != nil {
+			return nil, err
+		}
+		c.tracePath = *traceFlag
+		c.traceRecs = recs
+	} else if *traceFormatFlag != "auto" {
+		return nil, fmt.Errorf("-trace-format requires -trace-file")
 	}
 	return c, nil
 }
@@ -238,6 +272,10 @@ func (c *config) manifest() telemetry.Manifest {
 		cfg["spec"] = c.scenario.Name()
 		cfg["spec_hash"] = c.scenario.Hash()
 		cfg["apps"] = appListNames(c.scenario)
+	}
+	if c.tracePath != "" {
+		cfg["trace"] = filepath.Base(c.tracePath)
+		cfg["trace_records"] = len(c.traceRecs)
 	}
 	return telemetry.Manifest{
 		Tool:       "experiments",
@@ -364,6 +402,32 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		emit(t)
 		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	// -trace-file replaces the paper suite with the imported-trace
+	// evaluation: one Whisper-vs-baseline table over the external window.
+	if c.tracePath != "" {
+		timed("import", func() (*stats.Table, error) {
+			r, err := experiments.RunImportedTrace(opt, filepath.Base(c.tracePath), c.traceRecs)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		})
+		if mon != nil {
+			mon.Done()
+		}
+		if c.timing {
+			if mon != nil {
+				fmt.Fprintln(stderr, mon.Summary())
+			}
+			if opt.Cache != nil {
+				s := opt.Cache.Stats()
+				fmt.Fprintf(stderr, "disk cache (%s): profiles %d hits / %d misses, trains %d hits / %d misses, %d rejected\n",
+					opt.Cache.Dir(), s.ProfileHits, s.ProfileMisses, s.TrainHits, s.TrainMisses, s.Rejected)
+			}
+		}
+		return 0
 	}
 
 	// -spec replaces the paper suite with the scenario drivers: a
@@ -568,6 +632,20 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		return r.Table(), nil
 	})
+
+	// The cross-workload transfer study is quadratic in the app count,
+	// so it only runs when selected explicitly with -only transfer.
+	if c.only["transfer"] {
+		start := time.Now()
+		tr, err := experiments.RunTransfer(opt)
+		if err != nil {
+			fail("transfer", err)
+		}
+		emit(tr.ReductionTable())
+		emit(tr.OverlapTable())
+		emit(tr.SummaryTable())
+		fmt.Fprintf(stdout, "[transfer completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
 
 	if mon != nil {
 		mon.Done()

@@ -6,11 +6,19 @@
 //	whisper profile -app mysql -o mysql.profile.wspa [-input 0] [-records N]
 //	whisper train -profile mysql.profile.wspa -o mysql.hints.wspa [-explore F]
 //	whisper apply -hints mysql.hints.wspa [-test-input 1] [-warmup 0.3] [-dump]
+//	whisper convert -i trace.txt -o trace.wspt -to binary [-from auto]
 //
 // The default (no subcommand) runs the whole flow in one process. The
 // profile/train/apply subcommands run the identical stages through
 // versioned artifact files (package store), so the three-step pipeline
 // reproduces the fused run bit for bit.
+//
+// Imported traces: -trace-file FILE (on the one-shot flow, profile and
+// apply) drives the same pipeline from an external branch trace —
+// perf-script/LBR-style text, the compact WSPT binary format, or a
+// legacy WBT export — instead of a synthetic application; -trace-format
+// overrides the auto-detection. The convert subcommand transcodes
+// between the formats (see docs/traces.md).
 //
 // With -trace the tool additionally writes the application's branch trace
 // in the compact binary format (a stand-in for a decoded Intel PT file).
@@ -27,7 +35,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"github.com/whisper-sim/whisper/internal/core"
 	"github.com/whisper-sim/whisper/internal/hint"
@@ -37,6 +47,7 @@ import (
 	"github.com/whisper-sim/whisper/internal/store"
 	"github.com/whisper-sim/whisper/internal/telemetry"
 	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/traceio"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
 
@@ -56,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return cmdTrain(args[1:], stdout, stderr)
 		case "apply":
 			return cmdApply(args[1:], stdout, stderr)
+		case "convert":
+			return cmdConvert(args[1:], stdout, stderr)
 		}
 	}
 	return cmdOneShot(args, stdout, stderr)
@@ -81,27 +94,65 @@ func debugServer(addr string, stderr io.Writer) (stop func(), ok bool) {
 
 // lookupApp resolves an application name, reporting failures on stderr.
 func lookupApp(name string, stderr io.Writer) *workload.App {
-	app := workload.DataCenterApp(name)
+	app := workload.AppByName(name)
 	if app == nil {
 		fmt.Fprintf(stderr, "unknown app %q (try -app list)\n", name)
 	}
 	return app
 }
 
-// cmdProfile collects a profile artifact (the in-production stage).
+// traceMetaPrefix marks artifacts whose window came from an imported
+// trace file instead of a synthetic application.
+const traceMetaPrefix = "trace:"
+
+// loadTrace imports an external trace file and validates there is
+// something to predict in it. It returns the records and the detected
+// format; on failure it reports to stderr and returns nil records.
+func loadTrace(path, format string, stderr io.Writer) ([]trace.Record, traceio.Format) {
+	f, err := traceio.ParseFormat(format)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return nil, f
+	}
+	recs, detected, err := traceio.LoadFile(path, f)
+	if err != nil {
+		fmt.Fprintf(stderr, "reading trace: %v\n", err)
+		return nil, detected
+	}
+	if len(recs) == 0 {
+		fmt.Fprintf(stderr, "trace %s contains no records\n", path)
+		return nil, detected
+	}
+	conds := 0
+	for i := range recs {
+		if recs[i].Kind == trace.CondBranch {
+			conds++
+		}
+	}
+	if conds == 0 {
+		fmt.Fprintf(stderr, "trace %s contains no conditional branches (%d records)\n", path, len(recs))
+		return nil, detected
+	}
+	return recs, detected
+}
+
+// cmdProfile collects a profile artifact (the in-production stage),
+// from either a synthetic application or an imported trace file.
 func cmdProfile(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("whisper profile", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	appFlag := fs.String("app", "", "application name (see Table I)")
 	inputFlag := fs.Int("input", 0, "training input")
 	recordsFlag := fs.Int("records", 400000, "records per window")
+	traceFileFlag := fs.String("trace-file", "", "profile an imported trace file instead of a synthetic app")
+	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary or wbt")
 	outFlag := fs.String("o", "", "output artifact file (required)")
 	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *appFlag == "" || *outFlag == "" {
-		fmt.Fprintln(stderr, "whisper profile: -app and -o are required")
+	if *outFlag == "" || (*appFlag == "") == (*traceFileFlag == "") {
+		fmt.Fprintln(stderr, "whisper profile: -o and exactly one of -app or -trace-file are required")
 		return 2
 	}
 	stop, ok := debugServer(*debugFlag, stderr)
@@ -109,6 +160,38 @@ func cmdProfile(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	defer stop()
+
+	if *traceFileFlag != "" {
+		recs, _ := loadTrace(*traceFileFlag, *traceFormatFlag, stderr)
+		if recs == nil {
+			return 2
+		}
+		opt := sim.DefaultBuildOptions()
+		opt.Records = len(recs)
+		prof, err := sim.ProfileTrace(recs, opt)
+		if err != nil {
+			fmt.Fprintf(stderr, "profile: %v\n", err)
+			return 1
+		}
+		name := traceMetaPrefix + filepath.Base(*traceFileFlag)
+		art := &store.Artifact{
+			Meta: store.Meta{
+				App:     name,
+				Records: len(recs),
+				Key:     traceMetaPrefix + traceio.Fingerprint(recs),
+			},
+			Profile: prof,
+		}
+		if err := store.WriteFile(*outFlag, art); err != nil {
+			fmt.Fprintf(stderr, "profile: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "== %s: profiling imported trace (%d records) ==\n", name, len(recs))
+		printProfileLine(stdout, prof)
+		fmt.Fprintf(stdout, "wrote profile artifact to %s\n", *outFlag)
+		return 0
+	}
+
 	app := lookupApp(*appFlag, stderr)
 	if app == nil {
 		return 2
@@ -194,6 +277,8 @@ func cmdApply(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	hintsFlag := fs.String("hints", "", "input hint artifact (required)")
 	testFlag := fs.Int("test-input", 1, "evaluation input")
+	traceFileFlag := fs.String("trace-file", "", "the imported trace the hints were trained on (required for trace artifacts)")
+	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary or wbt")
 	warmFlag := fs.Float64("warmup", 0.3, "warm-up fraction of the measured window")
 	dumpFlag := fs.Bool("dump", false, "dump the injected brhint program")
 	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
@@ -217,6 +302,29 @@ func cmdApply(args []string, stdout, stderr io.Writer) int {
 	if art.Train == nil {
 		fmt.Fprintf(stderr, "apply: %s carries no hint section (run 'whisper train' first)\n", *hintsFlag)
 		return 1
+	}
+	if strings.HasPrefix(art.Meta.App, traceMetaPrefix) {
+		if *traceFileFlag == "" {
+			fmt.Fprintf(stderr, "apply: %s was trained on an imported trace (%s); -trace-file is required\n",
+				*hintsFlag, art.Meta.App)
+			return 2
+		}
+		recs, _ := loadTrace(*traceFileFlag, *traceFormatFlag, stderr)
+		if recs == nil {
+			return 2
+		}
+		if key := traceMetaPrefix + traceio.Fingerprint(recs); key != art.Meta.Key {
+			fmt.Fprintf(stderr, "apply: %s does not match the trace the hints were trained on (fingerprint %s, artifact %s)\n",
+				*traceFileFlag, key, art.Meta.Key)
+			return 1
+		}
+		b := sim.AssembleTraceHints(recs, art.Train, art.WindowInstrs, sim.DefaultBuildOptions())
+		printInjectionLine(stdout, b)
+		if *dumpFlag {
+			dumpHints(stdout, b)
+		}
+		printTraceEvaluation(stdout, recs, b, *warmFlag)
+		return 0
 	}
 	app := lookupApp(art.Meta.App, stderr)
 	if app == nil {
@@ -246,6 +354,8 @@ func cmdOneShot(args []string, stdout, stderr io.Writer) int {
 	exploreFlag := fs.Float64("explore", 0.05, "fraction of formulas explored (>=1 is exhaustive)")
 	traceFlag := fs.String("trace", "", "write the training trace to this file")
 	fromTraceFlag := fs.String("from-trace", "", "simulate the baseline over a previously exported trace file and exit")
+	traceFileFlag := fs.String("trace-file", "", "run the whole flow over an imported trace file instead of a synthetic app")
+	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary or wbt")
 	hintsFlag := fs.Bool("hints", false, "dump the injected brhint program")
 	warmFlag := fs.Float64("warmup", 0.3, "warm-up fraction of the measured window")
 	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
@@ -263,6 +373,31 @@ func cmdOneShot(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "trace simulation: %v\n", err)
 			return 1
 		}
+		return 0
+	}
+
+	if *traceFileFlag != "" {
+		recs, _ := loadTrace(*traceFileFlag, *traceFormatFlag, stderr)
+		if recs == nil {
+			return 2
+		}
+		name := traceMetaPrefix + filepath.Base(*traceFileFlag)
+		fmt.Fprintf(stdout, "== %s: profiling imported trace (%d records) ==\n", name, len(recs))
+		bopt := sim.DefaultBuildOptions()
+		bopt.Records = len(recs)
+		bopt.Params.ExploreFraction = *exploreFlag
+		b, err := sim.BuildWhisperTrace(recs, bopt)
+		if err != nil {
+			fmt.Fprintf(stderr, "build: %v\n", err)
+			return 1
+		}
+		printProfileLine(stdout, b.Profile)
+		printAnalysisLine(stdout, b.Profile, b.Train)
+		printInjectionLine(stdout, b)
+		if *hintsFlag {
+			dumpHints(stdout, b)
+		}
+		printTraceEvaluation(stdout, recs, b, *warmFlag)
 		return 0
 	}
 
@@ -346,6 +481,80 @@ func printEvaluation(w io.Writer, app *workload.App, b *sim.WhisperBuild, testIn
 	fmt.Fprintf(w, "reduction %.1f%%  speedup %.2f%%  (hint buffer hit rate %.2f, %d hint executions)\n",
 		sim.MispReduction(base, res)*100, sim.Speedup(base, res)*100,
 		rt.Buffer().HitRate(), rt.HintExecutions)
+}
+
+// printTraceEvaluation measures baseline and Whisper over an imported
+// record window; the fused trace flow and the apply subcommand share
+// it so their outputs match bit for bit. The window is its own test
+// input — external traces carry one window — so the reduction is the
+// paper's profile-window framing.
+func printTraceEvaluation(w io.Writer, recs []trace.Record, b *sim.WhisperBuild, warmFrac float64) {
+	popt := pipeline.Options{
+		Config:        pipeline.DefaultConfig(),
+		WarmupRecords: uint64(float64(len(recs)) * warmFrac),
+	}
+	base := sim.RunTrace(recs, sim.Tage64KB(), popt)
+	res, rt := b.RunWhisperTrace(recs, sim.Tage64KB, popt)
+
+	fmt.Fprintf(w, "\n== evaluation on the profiled window ==\n")
+	fmt.Fprintf(w, "baseline : IPC %.3f  MPKI %.2f  mispredictions %d\n",
+		base.IPC(), base.MPKI(), base.CondMisp)
+	fmt.Fprintf(w, "whisper  : IPC %.3f  MPKI %.2f  mispredictions %d\n",
+		res.IPC(), res.MPKI(), res.CondMisp)
+	fmt.Fprintf(w, "reduction %.1f%%  speedup %.2f%%  (hint buffer hit rate %.2f, %d hint executions)\n",
+		sim.MispReduction(base, res)*100, sim.Speedup(base, res)*100,
+		rt.Buffer().HitRate(), rt.HintExecutions)
+}
+
+// cmdConvert transcodes a trace file between the interchange formats.
+func cmdConvert(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whisper convert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	inFlag := fs.String("i", "", "input trace file (required)")
+	outFlag := fs.String("o", "", "output trace file (required)")
+	fromFlag := fs.String("from", "auto", "input format: auto, text, binary or wbt")
+	toFlag := fs.String("to", "", "output format: text, binary or wbt (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *inFlag == "" || *outFlag == "" || *toFlag == "" {
+		fmt.Fprintln(stderr, "whisper convert: -i, -o and -to are required")
+		return 2
+	}
+	from, err := traceio.ParseFormat(*fromFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "convert: %v\n", err)
+		return 2
+	}
+	to, err := traceio.ParseFormat(*toFlag)
+	if err != nil || to == traceio.FormatAuto {
+		fmt.Fprintf(stderr, "convert: -to must be text, binary or wbt\n")
+		return 2
+	}
+	in, err := os.Open(*inFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "convert: %v\n", err)
+		return 1
+	}
+	defer in.Close()
+	out, err := os.Create(*outFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "convert: %v\n", err)
+		return 1
+	}
+	n, detected, err := traceio.Convert(out, in, from, to)
+	if err != nil {
+		out.Close()
+		os.Remove(*outFlag)
+		fmt.Fprintf(stderr, "convert: %v\n", err)
+		return 1
+	}
+	if err := out.Close(); err != nil {
+		fmt.Fprintf(stderr, "convert: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "converted %d records (%s -> %s) to %s\n", n, detected, to, *outFlag)
+	return 0
 }
 
 // exportTrace writes the training window in the binary trace format.

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleTrace is the committed worked-example trace fixture.
+const sampleTrace = "../../examples/traces/sample.txt"
+
+// TestTraceStagedMatchesOneShot drives profile -> train -> apply over
+// the committed example trace through artifact files and requires the
+// evaluation block to be byte-identical to the fused -trace-file run's.
+func TestTraceStagedMatchesOneShot(t *testing.T) {
+	dir := t.TempDir()
+	profPath := filepath.Join(dir, "trace.profile.wspa")
+	hintPath := filepath.Join(dir, "trace.hints.wspa")
+
+	code, oneShot, errOut := runCLI(t, "-trace-file", sampleTrace)
+	if code != 0 {
+		t.Fatalf("one-shot exit %d: %s", code, errOut)
+	}
+
+	code, _, errOut = runCLI(t, "profile", "-trace-file", sampleTrace, "-o", profPath)
+	if code != 0 {
+		t.Fatalf("profile exit %d: %s", code, errOut)
+	}
+	code, _, errOut = runCLI(t, "train", "-profile", profPath, "-o", hintPath)
+	if code != 0 {
+		t.Fatalf("train exit %d: %s", code, errOut)
+	}
+	code, applyOut, errOut := runCLI(t, "apply", "-hints", hintPath, "-trace-file", sampleTrace)
+	if code != 0 {
+		t.Fatalf("apply exit %d: %s", code, errOut)
+	}
+
+	want := evaluationBlock(t, oneShot)
+	got := evaluationBlock(t, applyOut)
+	if got != want {
+		t.Fatalf("staged trace evaluation differs from one-shot:\n--- one-shot\n%s\n--- staged\n%s", want, got)
+	}
+	if !strings.Contains(oneShot, "hints trained") {
+		t.Fatalf("trace flow trained nothing:\n%s", oneShot)
+	}
+}
+
+// TestTraceApplyGuards: trace-trained hints refuse to run without the
+// trace, and refuse a different trace (fingerprint mismatch).
+func TestTraceApplyGuards(t *testing.T) {
+	dir := t.TempDir()
+	profPath := filepath.Join(dir, "p.wspa")
+	hintPath := filepath.Join(dir, "h.wspa")
+	if code, _, errOut := runCLI(t, "profile", "-trace-file", sampleTrace, "-o", profPath); code != 0 {
+		t.Fatalf("profile exit %d: %s", code, errOut)
+	}
+	if code, _, errOut := runCLI(t, "train", "-profile", profPath, "-o", hintPath); code != 0 {
+		t.Fatalf("train exit %d: %s", code, errOut)
+	}
+
+	code, _, errOut := runCLI(t, "apply", "-hints", hintPath)
+	if code != 2 || !strings.Contains(errOut, "-trace-file is required") {
+		t.Fatalf("missing -trace-file: exit %d, err %q", code, errOut)
+	}
+
+	// A different (truncated) trace must be rejected by fingerprint.
+	data, err := os.ReadFile(sampleTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	other := filepath.Join(dir, "other.txt")
+	if err := os.WriteFile(other, []byte(strings.Join(lines[:len(lines)/2], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runCLI(t, "apply", "-hints", hintPath, "-trace-file", other)
+	if code != 1 || !strings.Contains(errOut, "does not match the trace") {
+		t.Fatalf("wrong trace: exit %d, err %q", code, errOut)
+	}
+}
+
+// TestConvertRoundTripFixture locks the committed fixtures: sample.wspt
+// is exactly sample.txt converted to binary, and converting it back
+// reproduces sample.txt bit for bit.
+func TestConvertRoundTripFixture(t *testing.T) {
+	dir := t.TempDir()
+	wspt := filepath.Join(dir, "sample.wspt")
+	back := filepath.Join(dir, "back.txt")
+
+	code, out, errOut := runCLI(t, "convert", "-i", sampleTrace, "-o", wspt, "-to", "binary")
+	if code != 0 {
+		t.Fatalf("convert exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "(text -> binary)") {
+		t.Fatalf("unexpected convert output: %q", out)
+	}
+	want, err := os.ReadFile("../../examples/traces/sample.wspt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(wspt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("converted binary differs from the committed sample.wspt")
+	}
+
+	if code, _, errOut := runCLI(t, "convert", "-i", wspt, "-o", back, "-to", "text"); code != 0 {
+		t.Fatalf("convert back exit %d: %s", code, errOut)
+	}
+	text, err := os.ReadFile(sampleTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(round, text) {
+		t.Fatal("text -> binary -> text is not bit-exact on the fixture")
+	}
+}
+
+// TestConvertErrors: bad flags and malformed inputs exit non-zero and
+// leave no partial output behind.
+func TestConvertErrors(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.wspt")
+
+	if code, _, _ := runCLI(t, "convert", "-i", sampleTrace, "-o", out); code != 2 {
+		t.Fatal("missing -to accepted")
+	}
+	if code, _, _ := runCLI(t, "convert", "-i", sampleTrace, "-o", out, "-to", "auto"); code != 2 {
+		t.Fatal("-to auto accepted")
+	}
+
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("400010 400070 cond T 5\nbroken line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "convert", "-i", bad, "-o", out, "-to", "binary")
+	if code != 1 || !strings.Contains(errOut, "line 2") {
+		t.Fatalf("malformed input: exit %d, err %q", code, errOut)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatal("failed convert left a partial output file")
+	}
+}
+
+// TestProfileFlagConflicts: -app and -trace-file are mutually
+// exclusive, and one of them is required.
+func TestProfileFlagConflicts(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.wspa")
+	if code, _, _ := runCLI(t, "profile", "-o", out); code != 2 {
+		t.Fatal("profile without -app or -trace-file accepted")
+	}
+	code, _, _ := runCLI(t, "profile", "-app", "kafka", "-trace-file", sampleTrace, "-o", out)
+	if code != 2 {
+		t.Fatal("profile with both -app and -trace-file accepted")
+	}
+}

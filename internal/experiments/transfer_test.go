@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/store"
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+// transferOptions builds a small deterministic configuration with fresh
+// app instances (the memos key on app identity, so fresh instances keep
+// runs independent).
+func transferOptions(records int, names ...string) Options {
+	opt := Default()
+	opt.Records = records
+	opt.Parallelism = 2
+	opt.Apps = nil
+	for _, n := range names {
+		opt.Apps = append(opt.Apps, workload.AppByName(n))
+	}
+	return opt
+}
+
+// TestTransferDiagonalMatchesComparison: the A->A diagonal of the
+// transfer matrix must equal the single-workload comparison's Whisper
+// column bit for bit — both are computed by the same memoized
+// build/baseline/evaluate calls, and this locks that equivalence even
+// when the two drivers run from cold state independently.
+func TestTransferDiagonalMatchesComparison(t *testing.T) {
+	names := []string{"mysql", "rpc-chain"}
+	records := 20000
+
+	resetMemos()
+	cmp, err := RunComparison(transferOptions(records, names...), []Technique{TechWhisper})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resetMemos()
+	tr, err := RunTransfer(transferOptions(records, names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, name := range names {
+		want := cmp.Reduction[TechWhisper][i]
+		got := tr.Reduction[i][i]
+		if got != want {
+			t.Errorf("%s: diagonal reduction %v != comparison %v", name, got, want)
+		}
+	}
+	if tr.Apps[0] != "mysql" || tr.Apps[1] != "rpc-chain" {
+		t.Fatalf("unexpected app order: %v", tr.Apps)
+	}
+}
+
+// TestTransferOverlapProperties: both overlap matrices are symmetric,
+// bounded to [0, 1], and 1 on the diagonal (exactly for the static
+// Jaccard, within float tolerance for the dynamic histogram sum).
+func TestTransferOverlapProperties(t *testing.T) {
+	resetMemos()
+	tr, err := RunTransfer(transferOptions(15000, "kafka", "gc-mark", "rpc-chain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Apps)
+	for a := 0; a < n; a++ {
+		if tr.StaticOverlap[a][a] != 1 {
+			t.Errorf("static diagonal [%d][%d] = %v, want 1", a, a, tr.StaticOverlap[a][a])
+		}
+		if d := tr.DynamicOverlap[a][a]; d < 1-1e-9 || d > 1+1e-9 {
+			t.Errorf("dynamic diagonal [%d][%d] = %v, want 1", a, a, d)
+		}
+		for b := 0; b < n; b++ {
+			for name, m := range map[string][][]float64{"static": tr.StaticOverlap, "dynamic": tr.DynamicOverlap} {
+				v := m[a][b]
+				if v < 0 || v > 1+1e-9 {
+					t.Errorf("%s overlap [%d][%d] = %v out of [0,1]", name, a, b, v)
+				}
+				if v != m[b][a] {
+					t.Errorf("%s overlap asymmetric: [%d][%d]=%v, [%d][%d]=%v", name, a, b, v, b, a, m[b][a])
+				}
+			}
+		}
+	}
+	// The apps deliberately share a code layout, so distinct workloads
+	// should still overlap partially — a zero off-diagonal everywhere
+	// would mean the metric (or the layout) broke.
+	off := 0.0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				off += tr.StaticOverlap[a][b]
+			}
+		}
+	}
+	if off == 0 {
+		t.Error("all off-diagonal static overlaps are zero")
+	}
+}
+
+// TestTransferWarmRerun: against a warm cache directory the transfer
+// study performs zero profiling and zero training work and reproduces
+// the cold matrices exactly.
+func TestTransferWarmRerun(t *testing.T) {
+	dir := t.TempDir()
+	pass := func() (store.CacheStats, *Transfer) {
+		resetMemos()
+		cache, err := store.OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := transferOptions(15000, "kafka", "interp-dispatch")
+		opt.Cache = cache
+		tr, err := RunTransfer(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cache.Stats(), tr
+	}
+
+	coldStats, cold := pass()
+	if coldStats.ProfileMisses != 2 || coldStats.TrainMisses != 2 {
+		t.Fatalf("cold pass should miss once per train app: %+v", coldStats)
+	}
+	warmStats, warm := pass()
+	if warmStats.ProfileMisses != 0 || warmStats.TrainMisses != 0 {
+		t.Fatalf("warm pass recomputed profile/train work: %+v", warmStats)
+	}
+	if warmStats.ProfileHits == 0 || warmStats.TrainHits == 0 {
+		t.Fatalf("warm pass never consulted the cache: %+v", warmStats)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm transfer matrices differ from cold")
+	}
+}
+
+// TestImportedTraceWarmRerun: the imported-trace driver caches its
+// profile under the trace fingerprint and its trained bundle under the
+// profile fingerprint, so a warm rerun is pure disk reads plus
+// evaluation, and reproduces the cold result exactly.
+func TestImportedTraceWarmRerun(t *testing.T) {
+	app := workload.AppByName("rpc-chain")
+	recs := trace.Collect(app.Stream(0, 4000), 4000)
+
+	dir := t.TempDir()
+	pass := func() (store.CacheStats, *ImportedTrace) {
+		cache, err := store.OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Default()
+		opt.Cache = cache
+		r, err := RunImportedTrace(opt, "synthetic.txt", recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cache.Stats(), r
+	}
+
+	coldStats, cold := pass()
+	if coldStats.ProfileMisses != 1 || coldStats.TrainMisses != 1 {
+		t.Fatalf("cold pass should miss exactly once: %+v", coldStats)
+	}
+	warmStats, warm := pass()
+	if warmStats.ProfileMisses != 0 || warmStats.TrainMisses != 0 {
+		t.Fatalf("warm pass recomputed profile/train work: %+v", warmStats)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm imported-trace result differs from cold")
+	}
+	if cold.Static == 0 || cold.Base.CondMisp == 0 {
+		t.Fatalf("degenerate evaluation: %+v", cold)
+	}
+}
+
+// TestImportedTraceRejectsDegenerate: empty traces and traces without
+// conditional branches are rejected with a descriptive error.
+func TestImportedTraceRejectsDegenerate(t *testing.T) {
+	if _, err := RunImportedTrace(Default(), "empty", nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	uncond := []trace.Record{
+		{PC: 0x10, Target: 0x40, Kind: trace.Call, Taken: true, Instrs: 4},
+		{PC: 0x44, Target: 0x14, Kind: trace.Return, Taken: true, Instrs: 4},
+	}
+	if _, err := RunImportedTrace(Default(), "uncond", uncond); err == nil {
+		t.Fatal("cond-free trace accepted")
+	}
+}

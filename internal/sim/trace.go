@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/whisper-sim/whisper/internal/bpu"
+	"github.com/whisper-sim/whisper/internal/cfg"
+	"github.com/whisper-sim/whisper/internal/core"
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/profiler"
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// This file is the imported-trace mirror of the app-based flows: the
+// same profile -> train -> inject -> evaluate pipeline, but driven by a
+// buffered record slice (a decoded external trace) instead of a
+// workload generator. External traces carry one fixed window, so the
+// train and test streams are the same records; the evaluation answers
+// "how much of this window's mispredictions would Whisper hints
+// eliminate", the paper's profile-window upper-bound framing.
+
+// RunTrace measures pred over a buffered record window.
+func RunTrace(recs []trace.Record, pred bpu.Predictor, opt pipeline.Options) pipeline.Result {
+	return pipeline.Run(trace.NewSliceStream(recs), pred, opt)
+}
+
+// ProfileTrace runs the profiling stage over a buffered record window.
+func ProfileTrace(recs []trace.Record, opt BuildOptions) (*profiler.Profile, error) {
+	opt = opt.normalize()
+	mk := func() trace.Stream { return trace.NewSliceStream(recs) }
+	prof, err := profiler.Collect(mk, opt.Baseline(), opt.Profiler)
+	if err != nil {
+		return nil, fmt.Errorf("sim: profiling trace: %w", err)
+	}
+	return prof, nil
+}
+
+// BuildWhisperTrace is the fused offline flow over a buffered record
+// window. Like BuildWhisper it decomposes into ProfileTrace, core.Train
+// and AssembleTraceHints with bit-identical results.
+func BuildWhisperTrace(recs []trace.Record, opt BuildOptions) (*WhisperBuild, error) {
+	opt = opt.normalize()
+	prof, err := ProfileTrace(recs, opt)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.Train(prof, opt.Params)
+	if err != nil {
+		return nil, fmt.Errorf("sim: training trace: %w", err)
+	}
+	b := AssembleTraceHints(recs, tr, prof.Instrs, opt)
+	b.Profile = prof
+	return b, nil
+}
+
+// AssembleTraceHints runs the link-time stage over a buffered record
+// window: rebuild the window's dynamic CFG and inject the trained
+// hints.
+func AssembleTraceHints(recs []trace.Record, tr *core.TrainResult, windowInstrs uint64, opt BuildOptions) *WhisperBuild {
+	opt = opt.normalize()
+	g := cfg.Build(trace.NewSliceStream(recs))
+	bin := core.Inject(tr, g, core.InjectOptions{
+		Placement:    opt.Placement,
+		StaticInstrs: traceStaticInstrs(recs),
+		WindowInstrs: windowInstrs,
+	})
+	return &WhisperBuild{Train: tr, Graph: g, Binary: bin}
+}
+
+// traceStaticInstrs estimates the traced binary's static instruction
+// count the same way staticInstrs does for synthetic apps: each
+// distinct conditional branch PC stands for a ~6-instruction block.
+func traceStaticInstrs(recs []trace.Record) uint64 {
+	pcs := make(map[uint64]struct{})
+	for i := range recs {
+		if recs[i].Kind == trace.CondBranch {
+			pcs[recs[i].PC] = struct{}{}
+		}
+	}
+	return uint64(len(pcs)) * 6
+}
+
+// RunWhisperTrace measures the updated binary over the record window
+// with a fresh baseline underneath; the options' Hook is overridden
+// with the Whisper runtime.
+func (b *WhisperBuild) RunWhisperTrace(recs []trace.Record, baseline PredictorFactory, opt pipeline.Options) (pipeline.Result, *core.Runtime) {
+	if baseline == nil {
+		baseline = Tage64KB
+	}
+	rt := core.NewRuntime(baseline(), b.Binary, b.Train.Lengths, 0)
+	opt.Hook = rt
+	res := pipeline.Run(trace.NewSliceStream(recs), rt, opt)
+	return res, rt
+}

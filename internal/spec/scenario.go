@@ -142,18 +142,10 @@ func Compile(s *Spec) (*Scenario, error) {
 	return sc, nil
 }
 
-// lookupApp resolves a catalog name: the 12 Table I applications or the
-// SPEC2017-like family ("spec-gcc", ...).
+// lookupApp resolves a catalog name: the 12 Table I applications, the
+// extra workload families, or the SPEC2017-like family ("spec-gcc", ...).
 func lookupApp(name string) *workload.App {
-	if app := workload.DataCenterApp(name); app != nil {
-		return app
-	}
-	for _, app := range workload.SpecApps() {
-		if app.Name() == name {
-			return app
-		}
-	}
-	return nil
+	return workload.AppByName(name)
 }
 
 // TotalRecords sums the phase budgets.

@@ -1,0 +1,88 @@
+package traceio
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// The committed fuzz seed corpora live under testdata/fuzz/<Target>/ in
+// the standard `go test fuzz v1` encoding, so CI's fuzz-smoke starts
+// from real format structure instead of rediscovering the magic bytes.
+// Regenerate them with:
+//
+//	TRACEIO_WRITE_CORPUS=1 go test ./internal/traceio -run TestSeedCorpus
+
+// corpusEntries returns the seed inputs for both fuzz targets.
+func corpusEntries(t *testing.T) map[string][]byte {
+	t.Helper()
+	entries := map[string][]byte{
+		"FuzzTextImporter/seed-canonical": nil,
+		"FuzzTextImporter/seed-tolerant": []byte(
+			"# an LBR dump\n\n0x400010  0X400070 COND t 5 # trailing\n400070 400088 cond 0 0\n"),
+		"FuzzTextImporter/seed-bad-kind":   []byte("400070 400088 branch T 5\n"),
+		"FuzzTextImporter/seed-truncated":  []byte("400010 400070 cond T 5\n4000"),
+		"FuzzBinaryImporter/seed-header":   []byte("WSPT\x01\x07\x03"),
+		"FuzzBinaryImporter/seed-badmagic": []byte("WBT1\x01"),
+	}
+	var text bytes.Buffer
+	if err := WriteAll(&text, FormatText, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	entries["FuzzTextImporter/seed-canonical"] = text.Bytes()
+	var empty, sample, multi bytes.Buffer
+	if err := WriteAll(&empty, FormatBinary, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAll(&sample, FormatBinary, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]trace.Record, blockRecords+2)
+	for i := range recs {
+		recs[i] = trace.Record{
+			PC:     0x400000 + uint64(i*4),
+			Target: 0x400000 + uint64((i*7)%512),
+			Kind:   trace.CondBranch,
+			Taken:  i%2 == 0,
+			Instrs: uint32(i % 5),
+		}
+	}
+	if err := WriteAll(&multi, FormatBinary, recs); err != nil {
+		t.Fatal(err)
+	}
+	entries["FuzzBinaryImporter/seed-empty"] = empty.Bytes()
+	entries["FuzzBinaryImporter/seed-sample"] = sample.Bytes()
+	entries["FuzzBinaryImporter/seed-multiblock"] = multi.Bytes()
+	return entries
+}
+
+// TestSeedCorpus checks the committed corpora match the generator (and
+// rewrites them when TRACEIO_WRITE_CORPUS is set).
+func TestSeedCorpus(t *testing.T) {
+	write := os.Getenv("TRACEIO_WRITE_CORPUS") != ""
+	for name, data := range corpusEntries(t) {
+		path := filepath.Join("testdata", "fuzz", name)
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if write {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with TRACEIO_WRITE_CORPUS=1)", path, err)
+		}
+		if string(got) != want {
+			t.Fatalf("%s is stale (regenerate with TRACEIO_WRITE_CORPUS=1)", path)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package traceio
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// fuzzSeedTexts are the in-code text seeds (the committed corpus under
+// testdata/fuzz adds binary-leaning inputs).
+var fuzzSeedTexts = []string{
+	"",
+	"# whisper branch trace v1\n# from to kind taken instrs\n400010 400070 cond T 5\n",
+	"400010 400070 cond T 5\n400070 400088 cond N 0\n400090 401000 call T 3\n",
+	"0x400010 0X400070 COND t 5 # comment\n\n# blank above\n",
+	"401040 3f0000 jmp T 12\n3f0010 400098 ret 1 2\n4000a0 deadbeefcafe ijmp T 4294967295\n",
+	"400070 400088 cond\n",
+	"40zz10 400070 cond T 5\n",
+	"400090 401000 call N 3\n",
+}
+
+// FuzzTextImporter: the text reader must never panic, and any input it
+// accepts must survive a convert round trip: text -> binary -> text ->
+// reparse yields the same records, and the first text encode is
+// already canonical (stable under re-encode).
+func FuzzTextImporter(f *testing.F) {
+	for _, s := range fuzzSeedTexts {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, _, err := ReadAll(bytes.NewReader(data), FormatText)
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		var bin bytes.Buffer
+		if err := WriteAll(&bin, FormatBinary, recs); err != nil {
+			t.Fatalf("accepted text failed binary encode: %v", err)
+		}
+		var text bytes.Buffer
+		n, _, err := Convert(&text, bytes.NewReader(bin.Bytes()), FormatBinary, FormatText)
+		if err != nil || n != len(recs) {
+			t.Fatalf("binary->text convert: n=%d err=%v", n, err)
+		}
+		got, _, err := ReadAll(bytes.NewReader(text.Bytes()), FormatText)
+		if err != nil {
+			t.Fatalf("canonical text failed to reparse: %v", err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(got), len(recs))
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Fatalf("round trip changed record %d: %+v vs %+v", i, got[i], recs[i])
+			}
+		}
+		var text2 bytes.Buffer
+		if err := WriteAll(&text2, FormatText, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(text.Bytes(), text2.Bytes()) {
+			t.Fatal("canonical text form is not stable")
+		}
+	})
+}
+
+// FuzzBinaryImporter: the WSPT reader must never panic, and any byte
+// string that decodes cleanly must re-encode to the identical bytes
+// (decode -> encode -> decode identity), the same bijection
+// internal/store pins for artifacts.
+func FuzzBinaryImporter(f *testing.F) {
+	var seeds [][]trace.Record
+	seeds = append(seeds, nil, sampleRecords())
+	long := make([]trace.Record, blockRecords+3)
+	for i := range long {
+		long[i] = trace.Record{
+			PC:     0x400000 + uint64(i*4),
+			Target: 0x400000 + uint64((i*7)%512),
+			Kind:   trace.CondBranch,
+			Taken:  i%2 == 0,
+			Instrs: uint32(i % 5),
+		}
+	}
+	seeds = append(seeds, long)
+	for _, recs := range seeds {
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, FormatBinary, recs); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("WSPT"))
+	f.Add([]byte("WSPT\x01"))
+	f.Add([]byte("WSPT\x01\x07\x03"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, _, err := ReadAll(bytes.NewReader(data), FormatBinary)
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		var enc bytes.Buffer
+		if err := WriteAll(&enc, FormatBinary, recs); err != nil {
+			t.Fatalf("clean decode failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc.Bytes(), data) {
+			t.Fatalf("decode->encode not byte-identical:\n in %x\nout %x", data, enc.Bytes())
+		}
+		got, _, err := ReadAll(bytes.NewReader(enc.Bytes()), FormatBinary)
+		if err != nil || len(got) != len(recs) {
+			t.Fatalf("re-decode: %d records, err %v", len(got), err)
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Fatalf("re-decode changed record %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package traceio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/whisper-sim/whisper/internal/trace"
+)
+
+// The text trace format, one retired branch per line:
+//
+//	# comment (whole-line or trailing)
+//	FROM TO KIND TAKEN INSTRS
+//
+// FROM/TO are hex branch and target addresses (0x prefix optional),
+// in the Intel-LBR field order (source before destination). KIND is
+// one of cond, jmp, call, ret, ijmp (trace.Kind names). TAKEN is T/N
+// (1/0 also accepted); unconditional kinds must be taken. INSTRS is
+// the decimal count of non-branch instructions retired since the
+// previous record (fits uint32).
+//
+// The reader is tolerant about what it skips — comments, blank lines,
+// arbitrary whitespace, letter case — and strict about what it
+// accepts: any malformed record stops the stream with a ParseError
+// carrying the 1-based line number. A file cut mid-line therefore
+// reports the exact line where the truncation landed.
+
+// ParseError is a text-importer failure pinned to its input line.
+type ParseError struct {
+	Line int    // 1-based line number
+	Msg  string // what was wrong with it
+}
+
+// Error formats the failure with its line number.
+func (e *ParseError) Error() string { return fmt.Sprintf("traceio: line %d: %s", e.Line, e.Msg) }
+
+// maxTextLine bounds a single input line (comments included); longer
+// lines are rejected, which keeps hostile inputs from ballooning the
+// scanner buffer.
+const maxTextLine = 1 << 20
+
+// TextReader decodes the text format and implements Reader.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+// NewTextReader returns a streaming reader over r.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTextLine)
+	return &TextReader{sc: sc}
+}
+
+// fail records the first error and stops the stream.
+func (t *TextReader) fail(msg string, args ...any) bool {
+	t.err = &ParseError{Line: t.line, Msg: fmt.Sprintf(msg, args...)}
+	return false
+}
+
+// Next implements trace.Stream.
+func (t *TextReader) Next(rec *trace.Record) bool {
+	if t.err != nil {
+		return false
+	}
+	for t.sc.Scan() {
+		t.line++
+		line := t.sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue // blank or comment-only line
+		}
+		return t.parseRecord(fields, rec)
+	}
+	if err := t.sc.Err(); err != nil {
+		t.line++
+		if err == bufio.ErrTooLong {
+			t.fail("line exceeds %d bytes", maxTextLine)
+		} else {
+			t.err = err
+		}
+	}
+	return false
+}
+
+// parseRecord validates one record line.
+func (t *TextReader) parseRecord(fields []string, rec *trace.Record) bool {
+	if len(fields) != 5 {
+		return t.fail("record has %d fields, want 5 (from to kind taken instrs)", len(fields))
+	}
+	from, err := parseHex(fields[0])
+	if err != nil {
+		return t.fail("bad from PC %q: %v", fields[0], err)
+	}
+	to, err := parseHex(fields[1])
+	if err != nil {
+		return t.fail("bad target PC %q: %v", fields[1], err)
+	}
+	kind, ok := parseKind(fields[2])
+	if !ok {
+		return t.fail("unknown branch kind %q (want cond, jmp, call, ret or ijmp)", fields[2])
+	}
+	taken, ok := parseTaken(fields[3])
+	if !ok {
+		return t.fail("bad taken flag %q (want T, N, 1 or 0)", fields[3])
+	}
+	if !taken && kind != trace.CondBranch {
+		return t.fail("%s branch marked not-taken (only cond branches fall through)", kind)
+	}
+	instrs, err := strconv.ParseUint(fields[4], 10, 32)
+	if err != nil {
+		return t.fail("bad instruction count %q: must be a decimal uint32", fields[4])
+	}
+	rec.PC = from
+	rec.Target = to
+	rec.Kind = kind
+	rec.Taken = taken
+	rec.Instrs = uint32(instrs)
+	return true
+}
+
+// Err returns the first decode error, or nil on clean EOF.
+func (t *TextReader) Err() error { return t.err }
+
+// parseHex accepts a hex address with or without the 0x prefix.
+func parseHex(s string) (uint64, error) {
+	h := strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	if h == "" {
+		return 0, fmt.Errorf("empty hex value")
+	}
+	return strconv.ParseUint(h, 16, 64)
+}
+
+// parseKind resolves a trace.Kind name, case-insensitively.
+func parseKind(s string) (trace.Kind, bool) {
+	switch strings.ToLower(s) {
+	case "cond":
+		return trace.CondBranch, true
+	case "jmp":
+		return trace.UncondDirect, true
+	case "call":
+		return trace.Call, true
+	case "ret":
+		return trace.Return, true
+	case "ijmp":
+		return trace.IndirectJump, true
+	default:
+		return 0, false
+	}
+}
+
+// parseTaken resolves a direction flag.
+func parseTaken(s string) (taken, ok bool) {
+	switch strings.ToLower(s) {
+	case "t", "1":
+		return true, true
+	case "n", "0":
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// textHeader is the canonical writer's lead-in. Readers treat it as
+// ordinary comments, so its presence is not required on import.
+const textHeader = "# whisper branch trace v1\n# from to kind taken instrs\n"
+
+// TextWriter emits the canonical text form: the two header comment
+// lines, then one bare-hex record line per Write. Its output is a pure
+// function of the record sequence, which is what makes text<->binary
+// conversion of canonical files bit-exact.
+type TextWriter struct {
+	w     *bufio.Writer
+	wrote bool
+}
+
+// NewTextWriter returns a writer over w. The header is emitted lazily
+// on the first Write (or by Close for an empty trace).
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriter(w)}
+}
+
+// header emits the lead-in once.
+func (t *TextWriter) header() error {
+	if t.wrote {
+		return nil
+	}
+	t.wrote = true
+	_, err := t.w.WriteString(textHeader)
+	return err
+}
+
+// Write encodes one record.
+func (t *TextWriter) Write(rec *trace.Record) error {
+	if !rec.Kind.Valid() {
+		return fmt.Errorf("traceio: invalid kind %d", rec.Kind)
+	}
+	if !rec.Taken && rec.Kind != trace.CondBranch {
+		return fmt.Errorf("traceio: %s record marked not-taken", rec.Kind)
+	}
+	if err := t.header(); err != nil {
+		return err
+	}
+	flag := byte('T')
+	if !rec.Taken {
+		flag = 'N'
+	}
+	_, err := fmt.Fprintf(t.w, "%x %x %s %c %d\n", rec.PC, rec.Target, rec.Kind, flag, rec.Instrs)
+	return err
+}
+
+// Close flushes the output (writing the header if no records were).
+func (t *TextWriter) Close() error {
+	if err := t.header(); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}

@@ -70,8 +70,14 @@ func NewApp(cfg AppConfig) (*App, error) { return workload.New(cfg) }
 // Apps returns the 12 data center applications of the paper's Table I.
 func Apps() []*App { return workload.DataCenterApps() }
 
-// AppByName returns one Table I application (nil if unknown).
-func AppByName(name string) *App { return workload.DataCenterApp(name) }
+// AppByName returns one catalogued application — Table I, the extra
+// workload families ("interp-dispatch", "gc-mark", "rpc-chain"), or
+// the SPEC-like family ("spec-gcc", ...) — or nil if unknown.
+func AppByName(name string) *App { return workload.AppByName(name) }
+
+// FamilyApps returns the extra workload families used by the
+// cross-workload hint-transfer study.
+func FamilyApps() []*App { return workload.FamilyApps() }
 
 // SpecApps returns the SPEC2017-like comparison family (paper Fig 5a).
 func SpecApps() []*App { return workload.SpecApps() }
