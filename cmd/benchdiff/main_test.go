@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/benchio"
+)
+
+// fixtureReport builds a small valid report with consistent derived
+// fields.
+func fixtureReport(name string) *benchio.Report {
+	mk := func(app string, scalar, batched float64) benchio.Result {
+		return benchio.Result{
+			App: app, Predictor: "tage-sc-l-64KB",
+			Records: 100000, Reps: 5,
+			ScalarNSPerRecord:    scalar,
+			BatchedNSPerRecord:   batched,
+			ScalarRecordsPerSec:  1e9 / scalar,
+			BatchedRecordsPerSec: 1e9 / batched,
+			Speedup:              scalar / batched,
+		}
+	}
+	return &benchio.Report{
+		Schema: benchio.Schema, Name: name,
+		Go: "go1.22", GOMAXPROCS: 8,
+		Results: []benchio.Result{
+			mk("kafka", 100, 50),
+			mk("mysql", 200, 80),
+		},
+	}
+}
+
+// writeReport writes a report fixture and returns its path.
+func writeReport(t *testing.T, dir, name string, r *benchio.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := benchio.Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// diff drives the CLI in-process.
+func diff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestSelfDiffPasses: a report diffed against itself has zero delta and
+// exits 0 — the CI gate over the committed baselines.
+func TestSelfDiffPasses(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "base", fixtureReport("base"))
+	code, out, errOut := diff(t, path, path)
+	if code != 0 {
+		t.Fatalf("self-diff exit %d: %s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "within thresholds") {
+		t.Fatalf("missing pass summary:\n%s", out)
+	}
+}
+
+// TestRegressionFails: a per-record cost grown beyond the threshold
+// exits non-zero and names the offending cell and metric.
+func TestRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base", fixtureReport("base"))
+	worse := fixtureReport("new")
+	worse.Results[0].BatchedNSPerRecord = 60 // +20% over 50
+	worse.Results[0].BatchedRecordsPerSec = 1e9 / 60
+	worse.Results[0].Speedup = 100.0 / 60
+	next := writeReport(t, dir, "new", worse)
+
+	code, out, errOut := diff(t, base, next)
+	if code != 1 {
+		t.Fatalf("regression exit %d, want 1:\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "REGRESS  kafka/tage-sc-l-64KB batched ns/record") {
+		t.Fatalf("regression not named:\n%s", out)
+	}
+	if !strings.Contains(errOut, "regression(s) beyond thresholds") {
+		t.Fatalf("missing failure summary: %q", errOut)
+	}
+
+	// The same change passes with looser thresholds (the cost growth
+	// also drags the speedup ratio down, so both must be raised).
+	if code, out, _ := diff(t, "-ns-threshold", "25", "-speedup-threshold", "25", base, next); code != 0 {
+		t.Fatalf("loose-threshold exit %d:\n%s", code, out)
+	}
+}
+
+// TestSpeedupDropFails: a speedup ratio drop beyond its threshold is a
+// regression even when absolute costs improved.
+func TestSpeedupDropFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base", fixtureReport("base"))
+	worse := fixtureReport("new")
+	// Scalar got much faster but batched stayed put: the batched-engine
+	// speedup collapses from 2.0 to 1.2.
+	worse.Results[0].ScalarNSPerRecord = 60
+	worse.Results[0].ScalarRecordsPerSec = 1e9 / 60
+	worse.Results[0].Speedup = 60.0 / 50
+	next := writeReport(t, dir, "new", worse)
+
+	code, out, _ := diff(t, base, next)
+	if code != 1 {
+		t.Fatalf("speedup drop exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESS  kafka/tage-sc-l-64KB batched speedup") {
+		t.Fatalf("speedup regression not named:\n%s", out)
+	}
+}
+
+// TestMissingCellFails: losing a benchmark cell is a regression.
+func TestMissingCellFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base", fixtureReport("base"))
+	smaller := fixtureReport("new")
+	smaller.Results = smaller.Results[:1]
+	next := writeReport(t, dir, "new", smaller)
+
+	code, out, _ := diff(t, base, next)
+	if code != 1 {
+		t.Fatalf("missing cell exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "MISSING  mysql/tage-sc-l-64KB") {
+		t.Fatalf("missing cell not named:\n%s", out)
+	}
+}
+
+// TestNewCellPasses: extra coverage in the new report is reported but
+// never fails.
+func TestNewCellPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := fixtureReport("base")
+	base.Results = base.Results[:1]
+	basePath := writeReport(t, dir, "base", base)
+	next := writeReport(t, dir, "new", fixtureReport("new"))
+
+	code, out, _ := diff(t, basePath, next)
+	if code != 0 {
+		t.Fatalf("new cell exit %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "new      mysql/tage-sc-l-64KB") {
+		t.Fatalf("new cell not reported:\n%s", out)
+	}
+}
+
+// TestUsageAndReadErrors: bad invocations exit 2, unreadable reports 1.
+func TestUsageAndReadErrors(t *testing.T) {
+	if code, _, _ := diff(t); code != 2 {
+		t.Fatal("no-arg invocation accepted")
+	}
+	if code, _, _ := diff(t, "one.json"); code != 2 {
+		t.Fatal("single-arg invocation accepted")
+	}
+	if code, _, _ := diff(t, "-ns-threshold", "-1", "a.json", "b.json"); code != 2 {
+		t.Fatal("negative threshold accepted")
+	}
+	dir := t.TempDir()
+	ok := writeReport(t, dir, "ok", fixtureReport("ok"))
+	if code, _, errOut := diff(t, filepath.Join(dir, "absent.json"), ok); code != 1 || errOut == "" {
+		t.Fatalf("unreadable base exit %d", code)
+	}
+}
+
+// TestCommittedBaselinesSelfDiff runs the exact CI gate: every
+// committed BENCH_*.json must self-diff clean.
+func TestCommittedBaselinesSelfDiff(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Skip("no committed baselines")
+	}
+	for _, path := range matches {
+		if code, out, errOut := diff(t, path, path); code != 0 {
+			t.Errorf("%s: self-diff exit %d:\n%s%s", path, code, out, errOut)
+		}
+	}
+}

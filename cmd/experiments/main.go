@@ -56,6 +56,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/whisper-sim/whisper/internal/attrib"
 	"github.com/whisper-sim/whisper/internal/experiments"
 	"github.com/whisper-sim/whisper/internal/plot"
 	"github.com/whisper-sim/whisper/internal/runner"
@@ -86,6 +87,13 @@ type config struct {
 	scenario  *spec.Scenario
 	tracePath string
 	traceRecs []trace.Record
+
+	// attrib selects the standalone attribution study; attribJSON and
+	// attribTop are its options. chromeTrace exports the run's spans.
+	attrib      bool
+	attribJSON  string
+	attribTop   int
+	chromeTrace string
 }
 
 // run reports whether the experiment id is selected (-only empty means
@@ -117,22 +125,30 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	validateFlag := fs.Bool("validate", false, "with -spec: parse, compile and summarize the spec without simulating")
 	traceFlag := fs.String("trace-file", "", "evaluate Whisper over an imported branch trace (see docs/traces.md) instead of the paper suite")
 	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary, or wbt")
+	attribFlag := fs.Bool("attrib", false, "run the per-branch attribution study (see docs/attribution.md) instead of the paper suite")
+	attribJSONFlag := fs.String("attrib-json", "", "with -attrib: also write the canonical report documents (JSON array) to this file")
+	attribTopFlag := fs.Int("attrib-top", 0, "with -attrib: branches/hints listed per app (0 = default 20)")
+	chromeFlag := fs.String("chrome-trace", "", "write the run's phase/window spans as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 
 	c := &config{
-		opt:       experiments.Default(),
-		only:      map[string]bool{},
-		csv:       *csvFlag,
-		plot:      *plotFlag,
-		progress:  *progressFlag,
-		timing:    *timingFlag,
-		cacheDir:  *cacheFlag,
-		noCache:   *noCacheFlag,
-		scaleName: *scaleFlag,
-		journal:   *journalFlag,
-		debugAddr: *debugFlag,
+		opt:         experiments.Default(),
+		only:        map[string]bool{},
+		csv:         *csvFlag,
+		plot:        *plotFlag,
+		progress:    *progressFlag,
+		timing:      *timingFlag,
+		cacheDir:    *cacheFlag,
+		noCache:     *noCacheFlag,
+		scaleName:   *scaleFlag,
+		journal:     *journalFlag,
+		debugAddr:   *debugFlag,
+		attrib:      *attribFlag,
+		attribJSON:  *attribJSONFlag,
+		attribTop:   *attribTopFlag,
+		chromeTrace: *chromeFlag,
 	}
 	switch *scaleFlag {
 	case "tiny":
@@ -196,6 +212,16 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 		c.specPath = *specFlag
 		c.validate = *validateFlag
 		c.scenario = sc
+	}
+	if *attribFlag {
+		if *specFlag != "" {
+			return nil, fmt.Errorf("-attrib and -spec conflict: each replaces the paper suite")
+		}
+		if *traceFlag != "" {
+			return nil, fmt.Errorf("-attrib and -trace-file conflict: each replaces the paper suite")
+		}
+	} else if *attribJSONFlag != "" || *attribTopFlag != 0 {
+		return nil, fmt.Errorf("-attrib-json and -attrib-top require -attrib")
 	}
 	if *traceFlag != "" {
 		if *appsFlag != "" {
@@ -277,6 +303,9 @@ func (c *config) manifest() telemetry.Manifest {
 		cfg["trace"] = filepath.Base(c.tracePath)
 		cfg["trace_records"] = len(c.traceRecs)
 	}
+	if c.attrib {
+		cfg["attrib"] = true
+	}
 	return telemetry.Manifest{
 		Tool:       "experiments",
 		Go:         runtime.Version(),
@@ -316,6 +345,32 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		telemetry.Install(telemetry.NewRegistry())
 		defer telemetry.Install(prev)
 	}
+	// The span tracer collects phase and per-window events for the
+	// Chrome export; installed before the journal so the journal's
+	// closing defer can write the phase spans it gathered.
+	var tracebuf *telemetry.TraceBuffer
+	if c.chromeTrace != "" {
+		tracebuf = telemetry.NewTraceBuffer()
+		prev := telemetry.InstallTracer(tracebuf)
+		defer telemetry.InstallTracer(prev)
+		defer func() {
+			f, err := os.Create(c.chromeTrace)
+			if err == nil {
+				err = tracebuf.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "chrome trace: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+				return
+			}
+			fmt.Fprintf(stderr, "wrote Chrome trace to %s (load in about://tracing or Perfetto)\n", c.chromeTrace)
+		}()
+	}
 	if c.debugAddr != "" {
 		srv, err := telemetry.ServeDebug(c.debugAddr)
 		if err != nil {
@@ -334,6 +389,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		journal = telemetry.NewJournal(f)
 		journal.WriteManifest(c.manifest())
 		defer func() {
+			journal.WriteTraceSpans(tracebuf)
 			journal.WriteSnapshot(telemetry.Default())
 			if err := journal.Err(); err != nil {
 				fmt.Fprintf(stderr, "journal: %v\n", err)
@@ -402,6 +458,47 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		emit(t)
 		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	// -attrib replaces the paper suite with the attribution study: one
+	// per-branch misprediction report per configured app, plus optional
+	// canonical JSON (-attrib-json) and journal attrib lines.
+	if c.attrib {
+		start := time.Now()
+		ar, err := experiments.RunAttrib(opt, c.attribTop)
+		if err != nil {
+			fail("attrib", err)
+		}
+		if mon != nil {
+			mon.Done()
+		}
+		for _, r := range ar.Reports {
+			fmt.Fprintf(stdout, "== %s: misprediction attribution ==\n", r.Workload)
+			r.SummaryLines(stdout)
+			fmt.Fprintln(stdout)
+			emit(r.BranchTable())
+			emit(r.HintTable())
+			journal.WriteAttrib(r.Workload, r.Map())
+		}
+		fmt.Fprintf(stdout, "[attrib completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		if c.attribJSON != "" {
+			f, err := os.Create(c.attribJSON)
+			if err == nil {
+				err = attrib.WriteJSONList(f, ar.Reports)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "attrib json: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "wrote attribution reports to %s\n", c.attribJSON)
+		}
+		if c.timing && mon != nil {
+			fmt.Fprintln(stderr, mon.Summary())
+		}
+		return 0
 	}
 
 	// -trace-file replaces the paper suite with the imported-trace

@@ -3,11 +3,13 @@
 //
 //	journalcheck run.jsonl
 //
-// It checks the structural contract — a manifest first, unit events with
-// labels, exactly one final snapshot carrying a metrics map, nothing
-// after it, and a schema version this build understands — and reports
-// the unit-event count on success. CI runs it over the journal of a tiny
-// golden sweep so the format cannot drift silently.
+// It checks the structural contract — a manifest first; unit, span
+// (phase trace export), and attrib (per-branch attribution) events with
+// labels and non-negative times; exactly one final snapshot carrying a
+// metrics map, nothing after it; and a schema version this build
+// understands — and reports the unit-event count on success. CI runs it
+// over the journal of a tiny golden sweep so the format cannot drift
+// silently.
 package main
 
 import (

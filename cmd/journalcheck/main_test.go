@@ -66,3 +66,47 @@ func TestRunUsageAndMissingFile(t *testing.T) {
 		t.Fatal("missing file should exit 1")
 	}
 }
+
+func TestRunJournalWithSpanAndAttribLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := telemetry.NewJournal(f)
+	j.WriteManifest(telemetry.Manifest{Tool: "test"})
+	j.WriteUnit("u0", time.Millisecond, 100, 40)
+	j.WriteSpan("simulate", 0, 1500)
+	j.WriteAttrib("mysql", map[string]any{"schema": 1})
+	j.WriteSnapshot(nil)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ok (1 unit events)") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+func TestRunRejectsBrokenSpanLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "badspan.jsonl")
+	body := `{"type":"manifest","schema":2,"manifest":{"tool":"t"}}` + "\n" +
+		`{"type":"span","wall_ns":5}` + "\n" +
+		`{"type":"snapshot","metrics":{}}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "span without label") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}

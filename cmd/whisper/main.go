@@ -7,6 +7,8 @@
 //	whisper train -profile mysql.profile.wspa -o mysql.hints.wspa [-explore F]
 //	whisper apply -hints mysql.hints.wspa [-test-input 1] [-warmup 0.3] [-dump]
 //	whisper convert -i trace.txt -o trace.wspt -to binary [-from auto]
+//	whisper report [-app mysql] [-records N] [-top 20] [-json FILE]
+//	               [-chrome-trace FILE] [-trace-file FILE]
 //
 // The default (no subcommand) runs the whole flow in one process. The
 // profile/train/apply subcommands run the identical stages through
@@ -23,6 +25,12 @@
 // With -trace the tool additionally writes the application's branch trace
 // in the compact binary format (a stand-in for a decoded Intel PT file).
 // With -hints (or apply -dump) it dumps the trained brhint program.
+//
+// The report subcommand runs the whole flow and prints the attribution
+// report instead of the evaluation summary: the ranked per-branch
+// misprediction table and the per-hint effectiveness scoreboard, with
+// optional canonical JSON (-json) and Chrome trace-event span export
+// (-chrome-trace); see docs/attribution.md.
 //
 // Every subcommand accepts -debug-addr ADDR, which enables the process
 // telemetry registry and serves /metrics (Prometheus text), /debug/vars
@@ -69,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return cmdApply(args[1:], stdout, stderr)
 		case "convert":
 			return cmdConvert(args[1:], stdout, stderr)
+		case "report":
+			return cmdReport(args[1:], stdout, stderr)
 		}
 	}
 	return cmdOneShot(args, stdout, stderr)

@@ -1,0 +1,224 @@
+package main
+
+// whisper report: the attribution surface of the CLI. It runs the full
+// offline flow (profile, train, inject) plus a baseline and a hinted
+// evaluation of the same window with per-branch attribution collectors
+// attached, and explains where the MPKI goes: which static branches
+// carry the baseline mispredictions, which of them the hint program
+// covers, and what each placed hint bought at run time.
+//
+// The stdout report (header, ranked branch table, hint scoreboard) is
+// canonical: byte-identical whichever pipeline engine ran (-block,
+// -sim-j, -sim-window are pure wall-clock knobs here, like everywhere
+// else), locked by golden and cross-engine tests. -json additionally
+// writes the machine-readable attrib.Report document; -chrome-trace
+// writes the run's phase and per-window spans in the Chrome trace-event
+// format (load in about://tracing or Perfetto; see docs/attribution.md).
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/whisper-sim/whisper/internal/attrib"
+	"github.com/whisper-sim/whisper/internal/classify"
+	"github.com/whisper-sim/whisper/internal/pipeline"
+	"github.com/whisper-sim/whisper/internal/sim"
+	"github.com/whisper-sim/whisper/internal/telemetry"
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/traceio"
+)
+
+// reportBaselineName labels the baseline run in report documents.
+const reportBaselineName = "tage-scl-64kb"
+
+// reportWhisperName labels the hinted run in report documents.
+const reportWhisperName = "whisper+tage-scl-64kb"
+
+// cmdReport builds and prints the attribution report for one workload.
+func cmdReport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whisper report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appFlag := fs.String("app", "mysql", "application name (see Table I)")
+	recordsFlag := fs.Int("records", 400000, "records per window")
+	inputFlag := fs.Int("input", 0, "training input")
+	testFlag := fs.Int("test-input", 1, "evaluation input")
+	exploreFlag := fs.Float64("explore", 0.05, "fraction of formulas explored (>=1 is exhaustive)")
+	traceFileFlag := fs.String("trace-file", "", "attribute an imported trace file instead of a synthetic app")
+	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary or wbt")
+	warmFlag := fs.Float64("warmup", 0.3, "warm-up fraction of the measured window")
+	topFlag := fs.Int("top", 20, "branches listed in the attribution table")
+	topHintsFlag := fs.Int("top-hints", 20, "hints listed in the scoreboard")
+	classesFlag := fs.Bool("classes", true, "attach each branch's dominant misprediction class (one extra classification pass)")
+	jsonFlag := fs.String("json", "", "also write the canonical report JSON to this file")
+	chromeFlag := fs.String("chrome-trace", "", "write the run's phase/window spans as Chrome trace-event JSON to this file")
+	blockFlag := fs.Int("block", 0, "pipeline record-block size (0 = batched default, <0 = scalar reference)")
+	simJFlag := fs.Int("sim-j", 0, "windowed-engine goroutines per simulation (<=1 = off)")
+	simWindowFlag := fs.Int("sim-window", 0, "windowed-engine window length in records (0 = default)")
+	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	stop, ok := debugServer(*debugFlag, stderr)
+	if !ok {
+		return 2
+	}
+	defer stop()
+
+	// The tracer observes every span from here on; the replay-length
+	// quantiles need a registry when the windowed engine runs.
+	var tb *telemetry.TraceBuffer
+	if *chromeFlag != "" {
+		tb = telemetry.NewTraceBuffer()
+		prev := telemetry.InstallTracer(tb)
+		defer telemetry.InstallTracer(prev)
+	}
+	if *simJFlag > 1 && telemetry.Default() == nil {
+		prev := telemetry.Install(telemetry.NewRegistry())
+		defer telemetry.Install(prev)
+	}
+
+	// Resolve the evaluation window to a buffered record slice: the
+	// fingerprint, both measured runs and the classification pass all
+	// consume the identical records.
+	var recs []trace.Record
+	var workload string
+	var b *sim.WhisperBuild
+	if *traceFileFlag != "" {
+		recs, _ = loadTrace(*traceFileFlag, *traceFormatFlag, stderr)
+		if recs == nil {
+			return 2
+		}
+		workload = traceMetaPrefix + filepath.Base(*traceFileFlag)
+		bopt := sim.DefaultBuildOptions()
+		bopt.Records = len(recs)
+		bopt.Params.ExploreFraction = *exploreFlag
+		var err error
+		b, err = sim.BuildWhisperTrace(recs, bopt)
+		if err != nil {
+			fmt.Fprintf(stderr, "report: %v\n", err)
+			return 1
+		}
+	} else {
+		app := lookupApp(*appFlag, stderr)
+		if app == nil {
+			return 2
+		}
+		workload = app.Name()
+		bopt := sim.DefaultBuildOptions()
+		bopt.TrainInput = *inputFlag
+		bopt.Records = *recordsFlag
+		bopt.Params.ExploreFraction = *exploreFlag
+		var err error
+		b, err = sim.BuildWhisper(app, bopt)
+		if err != nil {
+			fmt.Fprintf(stderr, "report: %v\n", err)
+			return 1
+		}
+		recs = trace.Collect(app.Stream(*testFlag, *recordsFlag), 0)
+	}
+
+	popt := pipeline.Options{
+		Config:        pipeline.DefaultConfig(),
+		WarmupRecords: uint64(float64(len(recs)) * *warmFlag),
+		BlockSize:     *blockFlag,
+		Parallelism:   *simJFlag,
+		WindowSize:    *simWindowFlag,
+	}
+	baseC := attrib.NewCollector(0)
+	popt.Attrib = baseC
+	baseRes := sim.RunTrace(recs, sim.Tage64KB(), popt)
+
+	whisperC := attrib.NewCollector(0)
+	popt.Attrib = whisperC
+	// The run fills whisperC; the report reads the collectors, not the
+	// Result, so both runs are summarized from the identical source.
+	_, _ = b.RunWhisperTrace(recs, sim.Tage64KB, popt)
+
+	var classes map[uint64]string
+	if *classesFlag {
+		cl := classify.DefaultClassifier()
+		cl.TrackBranches = attrib.DefaultCapacity
+		counts := cl.Run(trace.NewSliceStream(recs), sim.Tage64KB())
+		classes = counts.DominantLabels()
+	}
+
+	rep := attrib.Build(attrib.Inputs{
+		Workload:      workload,
+		Fingerprint:   traceio.Fingerprint(recs),
+		Records:       baseRes.Records,
+		Instrs:        baseRes.Instrs,
+		WarmupRecords: baseRes.WarmupRecords,
+		BaselineName:  reportBaselineName,
+		WhisperName:   reportWhisperName,
+		Base:          baseC,
+		Whisper:       whisperC,
+		HintedPCs:     b.Binary.HintedPCs(),
+		Trained:       len(b.Train.Hints),
+		Placed:        b.Binary.Placed,
+		Dropped:       b.Binary.Dropped,
+		Classes:       classes,
+		TopN:          *topFlag,
+		TopHints:      *topHintsFlag,
+	})
+
+	fmt.Fprintf(stdout, "== %s: misprediction attribution ==\n", workload)
+	rep.SummaryLines(stdout)
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, rep.BranchTable().String())
+	fmt.Fprintln(stdout, rep.HintTable().String())
+
+	// Scheduling-dependent diagnostics stay on stderr: the canonical
+	// stdout must not change with the engine knobs.
+	if *simJFlag > 1 {
+		if h := telemetry.Default().Histogram("whisper_sim_replay_records"); h != nil {
+			fmt.Fprintf(stderr, "windowed engine: replay length p50 %.0f  p90 %.0f  p99 %.0f records (approx, log-bucket upper bounds)\n",
+				h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+		}
+	}
+
+	if *jsonFlag != "" {
+		if err := writeReportJSON(*jsonFlag, rep); err != nil {
+			fmt.Fprintf(stderr, "report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote report JSON to %s\n", *jsonFlag)
+	}
+	if *chromeFlag != "" {
+		if err := writeChromeTrace(*chromeFlag, tb); err != nil {
+			fmt.Fprintf(stderr, "report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote Chrome trace to %s (load in about://tracing or Perfetto)\n", *chromeFlag)
+	}
+	return 0
+}
+
+// writeReportJSON writes the canonical attribution document to path.
+func writeReportJSON(path string, rep *attrib.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeChromeTrace writes the collected span buffer to path in the
+// Chrome trace-event JSON format.
+func writeChromeTrace(path string, tb *telemetry.TraceBuffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tb.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,27 @@
+package attrib
+
+import "testing"
+
+// BenchmarkObserveDisabled pins the nil-sink contract: a pipeline run
+// without attribution pays one nil check per conditional and zero
+// allocations. CI's benchmark-smoke gate fails if this ever reports
+// a non-zero B/op.
+func BenchmarkObserveDisabled(b *testing.B) {
+	var c *Collector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Observe(uint64(i), i&1 == 0, i&3 == 0)
+	}
+}
+
+// BenchmarkObserveEnabled measures the steady-state enabled path (entry
+// already exists): map lookup + four counter bumps, no allocation.
+func BenchmarkObserveEnabled(b *testing.B) {
+	c := NewCollector(0)
+	c.Observe(0x40, true, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(0x40, i&1 == 0, i&3 == 0)
+	}
+}

@@ -1,0 +1,422 @@
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/whisper-sim/whisper/internal/stats"
+)
+
+// ReportSchema versions the canonical attribution JSON; readers reject
+// documents written by a newer tool.
+const ReportSchema = 1
+
+// RunSummary describes one measured run of the evaluation window.
+type RunSummary struct {
+	// Predictor names the measured configuration.
+	Predictor string `json:"predictor"`
+	// CondExecs and CondMisp are the window's conditional direction
+	// counts; MPKI is mispredictions per kilo-instruction.
+	CondExecs uint64  `json:"cond_execs"`
+	CondMisp  uint64  `json:"cond_misp"`
+	MPKI      float64 `json:"mpki"`
+}
+
+// BranchRow is one ranked entry of the per-branch attribution table.
+type BranchRow struct {
+	// PC is the static branch address, rendered in hex for stability
+	// across JSON readers (uint64 does not survive float64 decoding).
+	PC string `json:"pc"`
+	// Execs and Taken describe the branch's measured executions.
+	Execs uint64 `json:"execs"`
+	Taken uint64 `json:"taken"`
+	// BaseMisp and WhisperMisp are the branch's mispredictions under
+	// the baseline and the hinted binary.
+	BaseMisp    uint64 `json:"base_misp"`
+	WhisperMisp uint64 `json:"whisper_misp"`
+	// BaseMPKI is the branch's contribution to the baseline MPKI;
+	// SharePct its share of all baseline mispredictions.
+	BaseMPKI float64 `json:"base_mpki"`
+	SharePct float64 `json:"share_pct"`
+	// Class is the dominant misprediction class of internal/classify
+	// ("capacity", "conflict", "data_dependent", "compulsory"), empty
+	// when the branch was not classified.
+	Class string `json:"class,omitempty"`
+	// Hinted reports whether a placed hint covers this branch.
+	Hinted bool `json:"hinted"`
+}
+
+// HintRow is one entry of the per-hint effectiveness scoreboard.
+type HintRow struct {
+	// PC is the hinted branch address.
+	PC string `json:"pc"`
+	// Execs counts the branch's measured executions; Dead marks hints
+	// whose branch never executed in the window.
+	Execs uint64 `json:"execs"`
+	Dead  bool   `json:"dead"`
+	// BaseMisp and WhisperMisp are the branch's mispredictions under
+	// each binary; Corrected is base minus whisper (negative when the
+	// hint made the branch worse).
+	BaseMisp    uint64 `json:"base_misp"`
+	WhisperMisp uint64 `json:"whisper_misp"`
+	Corrected   int64  `json:"corrected"`
+}
+
+// HintSummary aggregates the hint program's run-time effectiveness.
+type HintSummary struct {
+	// Trained, Placed and Dropped describe the offline program (Dropped
+	// hints found no host within the 12-bit pointer reach).
+	Trained int `json:"trained"`
+	Placed  int `json:"placed"`
+	Dropped int `json:"dropped"`
+	// CoveredPCs counts distinct hinted branch PCs; LivePCs those that
+	// executed in the window; DeadPCs the rest (dead weight).
+	CoveredPCs int `json:"covered_pcs"`
+	LivePCs    int `json:"live_pcs"`
+	DeadPCs    int `json:"dead_pcs"`
+	// Corrected sums per-branch misprediction reductions at hinted PCs;
+	// Regressed sums the increases (hints that hurt).
+	Corrected uint64 `json:"corrected"`
+	Regressed uint64 `json:"regressed"`
+	// BaseMispCovered is the baseline misprediction mass at hinted PCs;
+	// CoveragePct is its share of all baseline mispredictions — how
+	// much of the MPKI the hint program even aims at.
+	BaseMispCovered uint64  `json:"base_misp_covered"`
+	CoveragePct     float64 `json:"coverage_pct"`
+	// Hints is the per-hint scoreboard, ranked by corrected
+	// mispredictions descending (then base mispredictions, then PC).
+	Hints []HintRow `json:"hints"`
+}
+
+// Report is the canonical attribution document for one workload: the
+// deterministic JSON the report CLIs emit and the ops surface a hint
+// server would serve per tenant.
+type Report struct {
+	Schema int `json:"schema"`
+	// Workload names the evaluated window ("mysql", "trace:foo.wspt").
+	Workload string `json:"workload"`
+	// Fingerprint is the SHA-256 of the evaluated record window in the
+	// canonical binary trace encoding (see traceio.Fingerprint).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Records/Instrs/WarmupRecords describe the measured window.
+	Records       uint64 `json:"records"`
+	Instrs        uint64 `json:"instrs"`
+	WarmupRecords uint64 `json:"warmup_records"`
+	// Baseline and Whisper summarize the two runs; ReductionPct is the
+	// headline misprediction reduction.
+	Baseline     RunSummary `json:"baseline"`
+	Whisper      RunSummary `json:"whisper"`
+	ReductionPct float64    `json:"reduction_pct"`
+	// TrackedBranches counts exactly-attributed static branches;
+	// OverflowPCs the observations folded into the overflow bucket.
+	TrackedBranches int    `json:"tracked_branches"`
+	OverflowPCs     uint64 `json:"overflow_pcs,omitempty"`
+	// TopShare is the cumulative share of baseline mispredictions the
+	// listed Branches account for — the paper's "a small set of
+	// branches dominates" claim as a number.
+	TopShare float64 `json:"top_share_pct"`
+	// Branches is the ranked top-N attribution table.
+	Branches []BranchRow `json:"branches"`
+	// HintStats is the hint program scoreboard.
+	HintStats HintSummary `json:"hint_stats"`
+}
+
+// Inputs carries everything Build folds into a Report.
+type Inputs struct {
+	Workload    string
+	Fingerprint string
+	// Records/Instrs/WarmupRecords describe the measured window (from
+	// the baseline pipeline.Result).
+	Records, Instrs, WarmupRecords uint64
+	// BaselineName and WhisperName label the two runs.
+	BaselineName, WhisperName string
+	// Base and Whisper are the two runs' collectors.
+	Base, Whisper *Collector
+	// HintedPCs are the branch PCs covered by placed hints; Trained,
+	// Placed and Dropped describe the offline hint program.
+	HintedPCs                []uint64
+	Trained, Placed, Dropped int
+	// Classes maps branch PCs to their dominant misprediction class
+	// label (internal/classify); may be nil.
+	Classes map[uint64]string
+	// TopN bounds the branch table (default 20); TopHints bounds the
+	// hint scoreboard (default 20). Negative means unbounded.
+	TopN, TopHints int
+}
+
+// round4 canonicalizes derived floats to 4 decimals so the JSON and the
+// text tables render identically everywhere.
+func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }
+
+// mpki returns mispredictions per kilo-instruction.
+func mpki(misp, instrs uint64) float64 {
+	if instrs == 0 {
+		return 0
+	}
+	return round4(float64(misp) / float64(instrs) * 1000)
+}
+
+// hexPC renders a branch PC the way the report tables do.
+func hexPC(pc uint64) string { return fmt.Sprintf("0x%08x", pc) }
+
+// Build assembles the canonical report from two attribution collectors
+// and the hint program. Every derived value is rounded to 4 decimals,
+// every list deterministically ordered, so equal inputs produce
+// byte-identical documents.
+func Build(in Inputs) *Report {
+	if in.TopN == 0 {
+		in.TopN = 20
+	}
+	if in.TopHints == 0 {
+		in.TopHints = 20
+	}
+	r := &Report{
+		Schema:        ReportSchema,
+		Workload:      in.Workload,
+		Fingerprint:   in.Fingerprint,
+		Records:       in.Records,
+		Instrs:        in.Instrs,
+		WarmupRecords: in.WarmupRecords,
+		Baseline: RunSummary{
+			Predictor: in.BaselineName,
+			CondExecs: in.Base.CondExecs,
+			CondMisp:  in.Base.CondMisp,
+			MPKI:      mpki(in.Base.CondMisp, in.Instrs),
+		},
+		Whisper: RunSummary{
+			Predictor: in.WhisperName,
+			CondExecs: in.Whisper.CondExecs,
+			CondMisp:  in.Whisper.CondMisp,
+			MPKI:      mpki(in.Whisper.CondMisp, in.Instrs),
+		},
+		TrackedBranches: in.Base.Len(),
+		OverflowPCs:     in.Base.OverflowPCs,
+	}
+	if in.Base.CondMisp > 0 {
+		r.ReductionPct = round4((1 - float64(in.Whisper.CondMisp)/float64(in.Base.CondMisp)) * 100)
+	}
+
+	hinted := make(map[uint64]bool, len(in.HintedPCs))
+	for _, pc := range in.HintedPCs {
+		hinted[pc] = true
+	}
+
+	// Branch table: ranked by the baseline collector's total order.
+	top := in.Base.TopK(in.TopN)
+	var topMisp uint64
+	for _, row := range top {
+		wb, _ := in.Whisper.Lookup(row.PC)
+		br := BranchRow{
+			PC:          hexPC(row.PC),
+			Execs:       row.Execs,
+			Taken:       row.Taken,
+			BaseMisp:    row.Misp,
+			WhisperMisp: wb.Misp,
+			BaseMPKI:    mpki(row.Misp, in.Instrs),
+			Hinted:      hinted[row.PC],
+		}
+		if in.Base.CondMisp > 0 {
+			br.SharePct = round4(float64(row.Misp) / float64(in.Base.CondMisp) * 100)
+		}
+		if in.Classes != nil {
+			br.Class = in.Classes[row.PC]
+		}
+		topMisp += row.Misp
+		r.Branches = append(r.Branches, br)
+	}
+	if in.Base.CondMisp > 0 {
+		r.TopShare = round4(float64(topMisp) / float64(in.Base.CondMisp) * 100)
+	}
+
+	// Hint scoreboard: one row per hinted PC, ranked by corrected
+	// mispredictions.
+	hs := HintSummary{
+		Trained:    in.Trained,
+		Placed:     in.Placed,
+		Dropped:    in.Dropped,
+		CoveredPCs: len(hinted),
+	}
+	rows := make([]HintRow, 0, len(hinted))
+	pcs := make([]uint64, 0, len(hinted))
+	for pc := range hinted {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		bb, _ := in.Base.Lookup(pc)
+		wb, _ := in.Whisper.Lookup(pc)
+		row := HintRow{
+			PC:          hexPC(pc),
+			Execs:       wb.Execs,
+			Dead:        wb.Execs == 0,
+			BaseMisp:    bb.Misp,
+			WhisperMisp: wb.Misp,
+			Corrected:   int64(bb.Misp) - int64(wb.Misp),
+		}
+		if row.Dead {
+			hs.DeadPCs++
+		} else {
+			hs.LivePCs++
+		}
+		if row.Corrected > 0 {
+			hs.Corrected += uint64(row.Corrected)
+		} else {
+			hs.Regressed += uint64(-row.Corrected)
+		}
+		hs.BaseMispCovered += bb.Misp
+		rows = append(rows, row)
+	}
+	if in.Base.CondMisp > 0 {
+		hs.CoveragePct = round4(float64(hs.BaseMispCovered) / float64(in.Base.CondMisp) * 100)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := &rows[i], &rows[j]
+		if a.Corrected != b.Corrected {
+			return a.Corrected > b.Corrected
+		}
+		if a.BaseMisp != b.BaseMisp {
+			return a.BaseMisp > b.BaseMisp
+		}
+		return a.PC < b.PC
+	})
+	if in.TopHints > 0 && in.TopHints < len(rows) {
+		rows = rows[:in.TopHints]
+	}
+	hs.Hints = rows
+	r.HintStats = hs
+	return r
+}
+
+// WriteJSON emits the canonical indented JSON document. Field order is
+// the struct order, floats are pre-rounded, lists pre-sorted: equal
+// reports are byte-identical.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteJSONList emits several canonical reports as one indented JSON
+// array — the multi-workload document cmd/experiments -attrib-json
+// writes. The same canonicalization rules apply, so equal report lists
+// are byte-identical.
+func WriteJSONList(w io.Writer, reports []*Report) error {
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Map flattens the report to a generic map — the shape the run
+// journal's attrib lines carry (telemetry.Journal.WriteAttrib).
+func (r *Report) Map() map[string]any {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return map[string]any{}
+	}
+	var m map[string]any
+	if json.Unmarshal(data, &m) != nil {
+		return map[string]any{}
+	}
+	return m
+}
+
+// DecodeReport parses and validates a canonical report document.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("attrib: %w", err)
+	}
+	if r.Schema <= 0 || r.Schema > ReportSchema {
+		return nil, fmt.Errorf("attrib: schema %d, reader supports <= %d", r.Schema, ReportSchema)
+	}
+	if r.Workload == "" {
+		return nil, fmt.Errorf("attrib: report without workload")
+	}
+	return &r, nil
+}
+
+// BranchTable renders the ranked attribution table.
+func (r *Report) BranchTable() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Attribution: top %d branches by baseline mispredictions (%s)", len(r.Branches), r.Workload),
+		"branch", "execs", "taken%", "base misp", "whisper", "bMPKI", "share%", "class", "hint")
+	for i := range r.Branches {
+		b := &r.Branches[i]
+		takenPct := 0.0
+		if b.Execs > 0 {
+			takenPct = float64(b.Taken) / float64(b.Execs) * 100
+		}
+		hint := "-"
+		if b.Hinted {
+			hint = "yes"
+		}
+		class := b.Class
+		if class == "" {
+			class = "-"
+		}
+		t.AddRow(b.PC,
+			fmt.Sprintf("%d", b.Execs),
+			stats.FormatFloat(takenPct, 1),
+			fmt.Sprintf("%d", b.BaseMisp),
+			fmt.Sprintf("%d", b.WhisperMisp),
+			stats.FormatFloat(b.BaseMPKI, 3),
+			stats.FormatFloat(b.SharePct, 1),
+			class, hint)
+	}
+	return t
+}
+
+// HintTable renders the per-hint effectiveness scoreboard.
+func (r *Report) HintTable() *stats.Table {
+	hs := &r.HintStats
+	t := stats.NewTable(
+		fmt.Sprintf("Hint scoreboard: %d placed / %d covered PCs (%d live, %d dead), coverage %s%% of baseline mispredictions",
+			hs.Placed, hs.CoveredPCs, hs.LivePCs, hs.DeadPCs, stats.FormatFloat(hs.CoveragePct, 1)),
+		"branch", "execs", "base misp", "whisper", "corrected", "state")
+	for i := range hs.Hints {
+		h := &hs.Hints[i]
+		state := "live"
+		switch {
+		case h.Dead:
+			state = "dead"
+		case h.Corrected < 0:
+			state = "regressed"
+		case h.Corrected == 0:
+			state = "neutral"
+		}
+		t.AddRow(h.PC,
+			fmt.Sprintf("%d", h.Execs),
+			fmt.Sprintf("%d", h.BaseMisp),
+			fmt.Sprintf("%d", h.WhisperMisp),
+			fmt.Sprintf("%d", h.Corrected),
+			state)
+	}
+	return t
+}
+
+// SummaryLines renders the per-workload header block the report CLIs
+// print above the tables.
+func (r *Report) SummaryLines(w io.Writer) {
+	fmt.Fprintf(w, "workload %s: %d records, %d instructions (%d warm-up records)\n",
+		r.Workload, r.Records, r.Instrs, r.WarmupRecords)
+	if r.Fingerprint != "" {
+		fmt.Fprintf(w, "trace fingerprint %s\n", r.Fingerprint)
+	}
+	fmt.Fprintf(w, "baseline %s: %d/%d mispredicted, MPKI %s\n",
+		r.Baseline.Predictor, r.Baseline.CondMisp, r.Baseline.CondExecs,
+		stats.FormatFloat(r.Baseline.MPKI, 3))
+	fmt.Fprintf(w, "whisper  %s: %d/%d mispredicted, MPKI %s (reduction %s%%)\n",
+		r.Whisper.Predictor, r.Whisper.CondMisp, r.Whisper.CondExecs,
+		stats.FormatFloat(r.Whisper.MPKI, 3), stats.FormatFloat(r.ReductionPct, 1))
+	fmt.Fprintf(w, "attribution: %d static branches tracked; top %d account for %s%% of baseline mispredictions\n",
+		r.TrackedBranches, len(r.Branches), stats.FormatFloat(r.TopShare, 1))
+}

@@ -68,6 +68,43 @@ type Counts struct {
 	Total uint64
 	// CondExecs and Instrs describe the analyzed window.
 	CondExecs, Instrs uint64
+	// Branches holds per-branch class counts when the classifier's
+	// TrackBranches is set (nil otherwise). Bounded drop-new like
+	// attrib.Collector: once the map is full, further new PCs go
+	// untracked, so the contents are deterministic in trace order.
+	Branches map[uint64]*BranchClasses
+}
+
+// BranchClasses is one static branch's per-class misprediction counts.
+type BranchClasses [numClasses]uint64
+
+// Dominant returns the branch's most frequent misprediction class and
+// its count; ties resolve to the lower class index (the paper's class
+// order), so the answer is deterministic.
+func (b *BranchClasses) Dominant() (Class, uint64) {
+	best := Compulsory
+	for cl := Compulsory + 1; cl < numClasses; cl++ {
+		if b[cl] > b[best] {
+			best = cl
+		}
+	}
+	return best, b[best]
+}
+
+// DominantLabels flattens Branches into branch PC → dominant class
+// label ("capacity", "conflict", ...) — the form the attribution report
+// consumes. Branches with no classified misprediction are skipped.
+func (c *Counts) DominantLabels() map[uint64]string {
+	if len(c.Branches) == 0 {
+		return nil
+	}
+	out := make(map[uint64]string, len(c.Branches))
+	for pc, bc := range c.Branches {
+		if cl, n := bc.Dominant(); n > 0 {
+			out[pc] = cl.Label()
+		}
+	}
+	return out
 }
 
 // Fraction returns the share of class cl among all mispredictions.
@@ -133,6 +170,11 @@ type Classifier struct {
 	// MinSeen is how often a substream must have been observed before
 	// its majority is considered established (data-dependence test).
 	MinSeen uint32
+	// TrackBranches, when positive, records per-branch class counts in
+	// Counts.Branches for up to that many static branch PCs (drop-new
+	// beyond the bound, so memory stays bounded and the contents
+	// deterministic).
+	TrackBranches int
 }
 
 // DefaultClassifier matches the 64KB baseline.
@@ -221,6 +263,9 @@ func (c *Classifier) Run(s trace.Stream, pred bpu.Predictor) Counts {
 		c.MinSeen = 8
 	}
 	var counts Counts
+	if c.TrackBranches > 0 {
+		counts.Branches = make(map[uint64]*BranchClasses)
+	}
 	var hist bpu.History
 	branches := make(map[uint64]*branchState)
 	lru := newLRU(c.CapacityEntries)
@@ -252,11 +297,20 @@ func (c *Classifier) Run(s trace.Stream, pred bpu.Predictor) Counts {
 
 		if misp {
 			counts.Total++
-			switch {
-			case newPC:
-				counts.ByClass[Compulsory]++
-			default:
-				counts.ByClass[c.classify(bs, folds, rec.Taken)]++
+			cl := Compulsory
+			if !newPC {
+				cl = c.classify(bs, folds, rec.Taken)
+			}
+			counts.ByClass[cl]++
+			if c.TrackBranches > 0 {
+				bc := counts.Branches[rec.PC]
+				if bc == nil && len(counts.Branches) < c.TrackBranches {
+					bc = &BranchClasses{}
+					counts.Branches[rec.PC] = bc
+				}
+				if bc != nil {
+					bc[cl]++
+				}
 			}
 		}
 
@@ -294,6 +348,11 @@ func (c *Counts) emitTelemetry() {
 			Add(c.ByClass[cl])
 	}
 }
+
+// Label is the stable lower-case metric label of a class (the String
+// form is the paper's legend and carries spaces/hyphens); it is the
+// class vocabulary of metric label values and attribution reports.
+func (cl Class) Label() string { return classLabel(cl) }
 
 // classLabel is the stable lower-case metric label of a class (the
 // String form is the paper's legend and carries spaces/hyphens).

@@ -152,3 +152,80 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatal("zero-value classifier did not run")
 	}
 }
+
+func TestTrackBranchesPerBranchCounts(t *testing.T) {
+	app := workload.DataCenterApp("mysql")
+	cl := DefaultClassifier()
+	cl.TrackBranches = 1 << 16
+	counts := cl.Run(app.Stream(0, 40000), tage.New(tage.DefaultConfig()))
+	if counts.Total == 0 {
+		t.Fatal("no mispredictions")
+	}
+	if len(counts.Branches) == 0 {
+		t.Fatal("TrackBranches recorded nothing")
+	}
+	// Per-branch counts must partition the global class counts exactly.
+	var perBranch BranchClasses
+	for _, bc := range counts.Branches {
+		for i, v := range bc {
+			perBranch[i] += v
+		}
+	}
+	if perBranch != counts.ByClass {
+		t.Fatalf("per-branch sums %v != global %v", perBranch, counts.ByClass)
+	}
+	labels := counts.DominantLabels()
+	if len(labels) == 0 {
+		t.Fatal("no dominant labels")
+	}
+	valid := map[string]bool{"compulsory": true, "capacity": true, "conflict": true, "data_dependent": true}
+	for pc, lbl := range labels {
+		if !valid[lbl] {
+			t.Fatalf("branch %#x has label %q", pc, lbl)
+		}
+	}
+}
+
+func TestTrackBranchesBounded(t *testing.T) {
+	// More unpredictable static branches than the bound: the map must
+	// stop growing at the bound while the global counts keep going.
+	r := xrand.New(9)
+	var recs []trace.Record
+	for round := 0; round < 3; round++ {
+		for b := 0; b < 64; b++ {
+			recs = append(recs, trace.Record{
+				PC: 0x1000 + uint64(b)*32, Kind: trace.CondBranch,
+				Taken: r.Bool(0.5), Instrs: 2,
+			})
+		}
+	}
+	cl := DefaultClassifier()
+	cl.TrackBranches = 8
+	counts := cl.Run(condStream(recs), tage.New(tage.Config{SizeKB: 8}))
+	if len(counts.Branches) > 8 {
+		t.Fatalf("tracked %d branches, bound 8", len(counts.Branches))
+	}
+	var tracked uint64
+	for _, bc := range counts.Branches {
+		for _, v := range bc {
+			tracked += v
+		}
+	}
+	if tracked > counts.Total {
+		t.Fatalf("tracked %d > total %d", tracked, counts.Total)
+	}
+}
+
+func TestDominantTieBreak(t *testing.T) {
+	bc := BranchClasses{2, 2, 1, 0}
+	if cl, n := bc.Dominant(); cl != Compulsory || n != 2 {
+		t.Fatalf("Dominant = %v/%d, want Compulsory/2", cl, n)
+	}
+	if Capacity.Label() != "capacity" || DataDependent.Label() != "data_dependent" {
+		t.Fatal("Label vocabulary drifted")
+	}
+	empty := &Counts{}
+	if empty.DominantLabels() != nil {
+		t.Fatal("empty counts produced labels")
+	}
+}

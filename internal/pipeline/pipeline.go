@@ -18,6 +18,7 @@
 package pipeline
 
 import (
+	"github.com/whisper-sim/whisper/internal/attrib"
 	"github.com/whisper-sim/whisper/internal/bpu"
 	"github.com/whisper-sim/whisper/internal/frontend"
 	"github.com/whisper-sim/whisper/internal/telemetry"
@@ -128,6 +129,14 @@ type Options struct {
 	// (DefaultWindowSize when 0). Results are bit-identical at every
 	// window size and worker count.
 	WindowSize int
+	// Attrib, when non-nil, receives every measured conditional's
+	// direction outcome (pc, taken, mispredicted) in trace order. All
+	// engines feed it from the goroutine that resolves direction
+	// outcomes serially (the scalar loop, the batched Phase A walk, the
+	// windowed leader), so the observation stream — and therefore any
+	// attribution report — is identical whichever engine ran. A nil
+	// collector costs nothing.
+	Attrib *attrib.Collector
 }
 
 // Run drives pred over the stream and returns the accounting. It uses
@@ -212,7 +221,11 @@ func RunScalar(s trace.Stream, pred bpu.Predictor, opt Options) Result {
 			if o, ok := pred.(bpu.OraclePrimer); ok {
 				o.Prime(rec.Taken)
 			}
-			if pred.Predict(rec.PC) != rec.Taken {
+			miss := pred.Predict(rec.PC) != rec.Taken
+			if measuring {
+				opt.Attrib.Observe(rec.PC, rec.Taken, miss)
+			}
+			if miss {
 				res.CondMisp++
 				res.SquashCycles += uint64(cfg.SquashPenalty)
 				fe.OnSquash()
@@ -267,13 +280,36 @@ func runBatched(s trace.Stream, pred bpu.Predictor, opt Options) Result {
 	sr := newSpanRunner(pred, opt.Hook, size)
 	a := newAcct(cfg, opt.WarmupRecords)
 
+	var seen uint64
 	for trace.Fill(s, blk) > 0 {
 		sr.phaseA(blk, miss)
+		seen = observeBlock(opt.Attrib, blk, miss, seen, opt.WarmupRecords)
 		a.accountBlock(blk, miss, 0, blk.N)
 	}
 	res := a.finish()
 	res.emitTelemetry()
 	return res
+}
+
+// observeBlock feeds a block's measured conditional outcomes into the
+// attribution collector in trace order, right after Phase A resolved
+// them. seen is the global 1-based record count before the block; the
+// return value is the count after it. A record is measured exactly when
+// its 1-based index exceeds the warmup count — the same condition the
+// scalar loop and acct use to flip into measuring — so every engine
+// produces the identical observation stream. Nil collectors skip the
+// walk entirely.
+func observeBlock(c *attrib.Collector, blk *trace.Block, miss []bool, seen, warmup uint64) uint64 {
+	if c == nil {
+		return seen + uint64(blk.N)
+	}
+	for i := 0; i < blk.N; i++ {
+		seen++
+		if blk.Kind[i] == trace.CondBranch && seen > warmup {
+			c.Observe(blk.PC[i], blk.Taken[i], miss[i])
+		}
+	}
+	return seen
 }
 
 // emitTelemetry flushes the run's accounting into the process registry.

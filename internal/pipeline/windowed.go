@@ -38,6 +38,7 @@ import (
 	"bytes"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/whisper-sim/whisper/internal/bpu"
 	"github.com/whisper-sim/whisper/internal/frontend"
@@ -178,8 +179,10 @@ func runWindowedInline(s trace.Stream, pred bpu.Predictor, cfg Config, opt Optio
 	miss := make([]bool, blk.Cap())
 	sr := newSpanRunner(pred, opt.Hook, blk.Cap())
 	a := newAcct(cfg, opt.WarmupRecords)
+	var seen uint64
 	for trace.Fill(s, blk) > 0 {
 		sr.phaseA(blk, miss)
+		seen = observeBlock(opt.Attrib, blk, miss, seen, opt.WarmupRecords)
 		a.accountBlock(blk, miss, 0, blk.N)
 		ws.Windows++
 		ws.TrueWindows++
@@ -230,6 +233,9 @@ func runWindowedParallel(s trace.Stream, pred bpu.Predictor, cfg Config, opt Opt
 				break
 			}
 			sr.phaseA(job.blk, job.miss)
+			// Attribution observes here, on the leader, so the stream
+			// is serial and in trace order whatever the workers do.
+			observeBlock(opt.Attrib, job.blk, job.miss, seen, warmup)
 
 			job.k = k
 			job.startSeen, job.startRem, job.startPrev = seen, rem, prev
@@ -268,10 +274,12 @@ func runWindowedParallel(s trace.Stream, pred bpu.Predictor, cfg Config, opt Opt
 		close(specCh)
 	}()
 
+	tracer := telemetry.Tracer()
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for job := range specCh {
 				if !specEnabled.Load() {
@@ -280,9 +288,19 @@ func runWindowedParallel(s trace.Stream, pred bpu.Predictor, cfg Config, opt Opt
 				if !job.claimed.CompareAndSwap(claimFree, claimWorker) {
 					continue
 				}
-				job.resCh <- speculateWindow(cfg, warmup, job, published.Load())
+				t0 := time.Time{}
+				if tracer != nil {
+					t0 = time.Now()
+				}
+				r := speculateWindow(cfg, warmup, job, published.Load())
+				if tracer != nil {
+					tracer.Add("window.speculate", telemetry.CatWindow,
+						telemetry.TIDWorker0+w, t0, time.Since(t0),
+						map[string]any{"window": job.k, "records": job.blk.N})
+				}
+				job.resCh <- r
 			}
-		}()
+		}(w)
 	}
 
 	// Committer: resolves windows in order on the true state.
@@ -300,11 +318,20 @@ func runWindowedParallel(s trace.Stream, pred bpu.Predictor, cfg Config, opt Opt
 	for job := range jobs {
 		n := job.blk.N
 		ws.Windows++
+		t0 := time.Time{}
+		if tracer != nil {
+			t0 = time.Now()
+		}
 		runTrue := job.claimed.Load() == claimCommitter ||
 			job.claimed.CompareAndSwap(claimFree, claimCommitter)
 		if runTrue {
 			a.accountBlock(job.blk, job.miss, 0, n)
 			ws.TrueWindows++
+			if tracer != nil {
+				tracer.Add("window.true", telemetry.CatWindow,
+					telemetry.TIDCommitter, t0, time.Since(t0),
+					map[string]any{"window": job.k, "records": n})
+			}
 		} else {
 			r := <-job.resCh
 			var replayed int
@@ -317,6 +344,15 @@ func runWindowedParallel(s trace.Stream, pred bpu.Predictor, cfg Config, opt Opt
 				ws.Replays++
 				ws.ReplayedRecords += uint64(replayed)
 				replayHist.Observe(uint64(replayed))
+			}
+			if tracer != nil {
+				name := "window.verify"
+				if replayed > 0 {
+					name = "window.replay"
+				}
+				tracer.Add(name, telemetry.CatWindow,
+					telemetry.TIDCommitter, t0, time.Since(t0),
+					map[string]any{"window": job.k, "records": n, "replayed": replayed})
 			}
 			recentSpec += uint64(n)
 			recentReplayed += uint64(replayed)

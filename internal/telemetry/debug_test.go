@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// debugGet fetches path from a live debug server and returns status,
+// content type, and body.
+func debugGet(t *testing.T, s *DebugServer, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestDebugMetricsEndpoint(t *testing.T) {
+	r := swap(t, NewRegistry())
+	r.Counter("whisper_debug_test_total").Add(7)
+	r.Histogram("whisper_debug_test_sizes").Observe(100)
+	s, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, ctype, body := debugGet(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE whisper_debug_test_total counter",
+		"whisper_debug_test_total 7",
+		"# TYPE whisper_debug_test_sizes histogram",
+		// The quantile satellite: histogram families expose approximate
+		// quantiles as a sibling gauge family.
+		"# TYPE whisper_debug_test_sizes_approx_quantile gauge",
+		`whisper_debug_test_sizes_approx_quantile{quantile="0.99"} 127`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugMetricsReadsRegistryAtRequestTime(t *testing.T) {
+	swap(t, NewRegistry())
+	s, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Replace the registry after the server started: the handler must
+	// serve the new one.
+	r2 := swap(t, NewRegistry())
+	r2.Counter("whisper_late_total").Inc()
+	if _, _, body := debugGet(t, s, "/metrics"); !strings.Contains(body, "whisper_late_total 1") {
+		t.Fatalf("/metrics not reading live registry:\n%s", body)
+	}
+}
+
+func TestDebugVarsEndpoint(t *testing.T) {
+	r := swap(t, NewRegistry())
+	r.Gauge("whisper_debug_inflight").Set(3)
+	s, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, ctype, body := debugGet(t, s, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/vars content type %q", ctype)
+	}
+	// The registry snapshot is published under the "whisper" var.
+	if !strings.Contains(body, `"whisper"`) || !strings.Contains(body, "whisper_debug_inflight") {
+		t.Fatalf("/debug/vars missing registry snapshot:\n%s", body)
+	}
+}
+
+func TestDebugPprofMux(t *testing.T) {
+	swap(t, NewRegistry())
+	s, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Index page lists the standard profiles.
+	code, _, body := debugGet(t, s, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	for _, want := range []string{"goroutine", "heap"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("pprof index missing %q:\n%s", want, body)
+		}
+	}
+	// Registered sub-handlers answer.
+	for _, path := range []string{"/debug/pprof/cmdline", "/debug/pprof/symbol", "/debug/pprof/heap?debug=1"} {
+		if code, _, _ := debugGet(t, s, path); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, code)
+		}
+	}
+}
+
+func TestDebugServerAddrAndClose(t *testing.T) {
+	swap(t, NewRegistry())
+	s, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Addr(), "127.0.0.1:") {
+		t.Fatalf("Addr = %q", s.Addr())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+func TestServeDebugBadAddr(t *testing.T) {
+	if _, err := ServeDebug("256.0.0.1:bad"); err == nil {
+		t.Fatal("ServeDebug accepted a bad address")
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 )
@@ -71,4 +72,43 @@ func (h *Histogram) upperBound(i int) float64 {
 		return 0
 	}
 	return float64(uint64(1)<<uint(i)-1) * h.scale
+}
+
+// Quantile returns an approximate q-quantile (q in [0,1]) in rendered
+// units: the upper bound of the log bucket holding the ceil(q·count)-th
+// observation. The power-of-two buckets bound the error to under one
+// octave — coarse, but exactly enough resolution for "did p99 jump an
+// order of magnitude", which is what the replay-length and phase
+// distributions are monitored for. Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += counts[i]
+		if cum >= rank {
+			return h.upperBound(i)
+		}
+	}
+	return h.upperBound(numBuckets - 1)
 }

@@ -11,7 +11,9 @@ import (
 
 // JournalSchema is the run-journal line schema version, recorded in the
 // manifest so readers can reject files written by a newer tool.
-const JournalSchema = 1
+// Schema 2 adds the "span" (phase trace spans) and "attrib" (per-branch
+// attribution summaries) line types; schema-1 files remain valid.
+const JournalSchema = 2
 
 // Manifest is the journal's first line: everything needed to reproduce
 // or attribute the run.
@@ -33,7 +35,7 @@ type Manifest struct {
 }
 
 // journalLine is the on-disk shape of every journal record. Type is one
-// of "manifest", "unit", "snapshot".
+// of "manifest", "unit", "span", "attrib", "snapshot".
 type journalLine struct {
 	Type     string    `json:"type"`
 	Schema   int       `json:"schema,omitempty"`
@@ -42,9 +44,15 @@ type journalLine struct {
 	WallNS   int64     `json:"wall_ns,omitempty"`
 	Instrs   uint64    `json:"instrs,omitempty"`
 	Records  uint64    `json:"records,omitempty"`
+	// StartNS is a span's start offset from the tracer's start, in
+	// nanoseconds (span lines only).
+	StartNS int64 `json:"start_ns,omitempty"`
 	// Metrics is a pointer so an empty-but-present snapshot still
 	// serializes as {} (omitempty would drop an empty map).
 	Metrics *map[string]any `json:"metrics,omitempty"`
+	// Attrib carries an attribution summary document (attrib lines
+	// only); a pointer for the same empty-but-present reason.
+	Attrib *map[string]any `json:"attrib,omitempty"`
 }
 
 // Journal writes the structured JSONL run log: one manifest line, one
@@ -89,6 +97,37 @@ func (j *Journal) WriteUnit(label string, wall time.Duration, instrs, records ui
 	j.write(&journalLine{Type: "unit", Label: label, WallNS: int64(wall), Instrs: instrs, Records: records})
 }
 
+// WriteSpan records one timed phase span: label names the phase,
+// startNS is the offset from the run's trace start, durNS its length.
+func (j *Journal) WriteSpan(label string, startNS, durNS int64) {
+	j.write(&journalLine{Type: "span", Label: label, StartNS: startNS, WallNS: durNS})
+}
+
+// WriteTraceSpans journals every phase-category event of a trace buffer
+// (windowed per-window events stay in the Chrome export only — a long
+// run produces thousands of them, while phase spans are bounded by the
+// number of pipeline stages executed).
+func (j *Journal) WriteTraceSpans(tb *TraceBuffer) {
+	if j == nil || tb == nil {
+		return
+	}
+	for _, ev := range tb.Events() {
+		if ev.Cat != CatPhase {
+			continue
+		}
+		j.WriteSpan(ev.Name, int64(ev.TS*1e3), int64(ev.Dur*1e3))
+	}
+}
+
+// WriteAttrib records one workload's attribution summary document
+// (typically an attrib.Report flattened to a map via JSON).
+func (j *Journal) WriteAttrib(label string, body map[string]any) {
+	if body == nil {
+		body = map[string]any{}
+	}
+	j.write(&journalLine{Type: "attrib", Label: label, Attrib: &body})
+}
+
 // WriteSnapshot records the final aggregate state of r; call it once,
 // last, after all units have finished.
 func (j *Journal) WriteSnapshot(r *Registry) {
@@ -110,9 +149,10 @@ func (j *Journal) Err() error {
 }
 
 // ValidateJournal checks a journal stream against the schema: exactly
-// one manifest (first, schema <= current), zero or more unit events
-// (non-empty label, non-negative wall time), and exactly one snapshot
-// (last, with metrics). It returns the number of unit events.
+// one manifest (first, schema <= current), zero or more unit, span, and
+// attrib events (non-empty label; non-negative times; attrib body
+// present), and exactly one snapshot (last, with metrics). It returns
+// the number of unit events.
 func ValidateJournal(r io.Reader) (units int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
@@ -153,6 +193,29 @@ func ValidateJournal(r io.Reader) (units int, err error) {
 				return units, fmt.Errorf("journal line %d: negative wall_ns", n)
 			}
 			units++
+		case "span":
+			if n == 1 {
+				return units, fmt.Errorf("journal line 1: expected manifest, got span")
+			}
+			if line.Label == "" {
+				return units, fmt.Errorf("journal line %d: span without label", n)
+			}
+			if line.StartNS < 0 {
+				return units, fmt.Errorf("journal line %d: negative start_ns", n)
+			}
+			if line.WallNS < 0 {
+				return units, fmt.Errorf("journal line %d: negative wall_ns", n)
+			}
+		case "attrib":
+			if n == 1 {
+				return units, fmt.Errorf("journal line 1: expected manifest, got attrib")
+			}
+			if line.Label == "" {
+				return units, fmt.Errorf("journal line %d: attrib without label", n)
+			}
+			if line.Attrib == nil {
+				return units, fmt.Errorf("journal line %d: attrib without body", n)
+			}
 		case "snapshot":
 			if n == 1 {
 				return units, fmt.Errorf("journal line 1: expected manifest, got snapshot")

@@ -114,3 +114,94 @@ func TestValidateJournalRejects(t *testing.T) {
 		}
 	}
 }
+
+func TestJournalSpanAndAttribRoundTrip(t *testing.T) {
+	var b strings.Builder
+	j := NewJournal(&b)
+	j.WriteManifest(Manifest{Tool: "test"})
+	j.WriteUnit("fig1/mysql", time.Millisecond, 100, 40)
+	j.WriteSpan("simulate", 1500, 2500)
+	j.WriteAttrib("mysql", map[string]any{"schema": 1, "workload": "mysql"})
+	j.WriteAttrib("empty", nil) // nil body serializes as {}
+	j.WriteSnapshot(NewRegistry())
+	out := b.String()
+
+	units, err := ValidateJournal(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("schema-2 journal rejected: %v\n%s", err, out)
+	}
+	if units != 1 {
+		t.Fatalf("units = %d, want 1", units)
+	}
+	for _, want := range []string{
+		`"type":"span"`, `"start_ns":1500`, `"wall_ns":2500`,
+		`"type":"attrib"`, `"workload":"mysql"`, `"attrib":{}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("journal missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJournalWriteTraceSpans(t *testing.T) {
+	tb := NewTraceBuffer()
+	base := tb.start
+	tb.Add("simulate", CatPhase, TIDMain, base.Add(time.Millisecond), 2*time.Millisecond, nil)
+	tb.Add("train", CatPhase, TIDMain, base.Add(4*time.Millisecond), time.Millisecond, nil)
+	// Window events must NOT be journaled (unbounded cardinality).
+	tb.Add("window.speculate", CatWindow, TIDWorker0, base, time.Millisecond, nil)
+
+	var b strings.Builder
+	j := NewJournal(&b)
+	j.WriteManifest(Manifest{Tool: "test"})
+	j.WriteTraceSpans(tb)
+	j.WriteSnapshot(NewRegistry())
+	out := b.String()
+
+	if _, err := ValidateJournal(strings.NewReader(out)); err != nil {
+		t.Fatalf("trace-span journal rejected: %v\n%s", err, out)
+	}
+	if got := strings.Count(out, `"type":"span"`); got != 2 {
+		t.Fatalf("%d span lines, want 2 (window events excluded):\n%s", got, out)
+	}
+	if strings.Contains(out, "window.speculate") {
+		t.Fatalf("window event leaked into journal:\n%s", out)
+	}
+	// Nil journal / nil buffer are no-ops.
+	var nilJ *Journal
+	nilJ.WriteTraceSpans(tb)
+	j2 := NewJournal(&strings.Builder{})
+	j2.WriteTraceSpans(nil)
+}
+
+func TestValidateJournalSchema2Rejects(t *testing.T) {
+	manifest := `{"type":"manifest","schema":2,"manifest":{"tool":"t"}}` + "\n"
+	snapshot := `{"type":"snapshot","metrics":{}}` + "\n"
+	cases := map[string]string{
+		"span first":            `{"type":"span","label":"simulate","wall_ns":5}` + "\n" + snapshot,
+		"span without label":    manifest + `{"type":"span","wall_ns":5}` + "\n" + snapshot,
+		"span negative start":   manifest + `{"type":"span","label":"x","start_ns":-1}` + "\n" + snapshot,
+		"span negative wall":    manifest + `{"type":"span","label":"x","wall_ns":-1}` + "\n" + snapshot,
+		"span after snapshot":   manifest + snapshot + `{"type":"span","label":"x"}` + "\n",
+		"attrib first":          `{"type":"attrib","label":"mysql","attrib":{}}` + "\n" + snapshot,
+		"attrib without label":  manifest + `{"type":"attrib","attrib":{}}` + "\n" + snapshot,
+		"attrib without body":   manifest + `{"type":"attrib","label":"mysql"}` + "\n" + snapshot,
+		"attrib after snapshot": manifest + snapshot + `{"type":"attrib","label":"x","attrib":{}}` + "\n",
+		"unknown sibling type":  manifest + `{"type":"spans","label":"x"}` + "\n" + snapshot,
+	}
+	for name, in := range cases {
+		if _, err := ValidateJournal(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateJournalAcceptsSchema2Types(t *testing.T) {
+	in := `{"type":"manifest","schema":2,"manifest":{"tool":"t"}}` + "\n" +
+		`{"type":"span","label":"simulate","start_ns":0,"wall_ns":0}` + "\n" +
+		`{"type":"attrib","label":"mysql","attrib":{"schema":1}}` + "\n" +
+		`{"type":"snapshot","metrics":{}}` + "\n"
+	if _, err := ValidateJournal(strings.NewReader(in)); err != nil {
+		t.Fatalf("minimal schema-2 journal rejected: %v", err)
+	}
+}

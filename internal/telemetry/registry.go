@@ -223,6 +223,20 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_bucket", labels, `le="+Inf"`), cum)
 		fmt.Fprintf(w, "%s %g\n", withLabel(fam+"_sum", labels, ""), h.ScaledSum())
 		fmt.Fprintf(w, "%s %d\n", withLabel(fam+"_count", labels, ""), cum)
+		// Approximate quantiles from the log-bucket bounds, exported
+		// as a sibling gauge family (a histogram family cannot carry
+		// quantile series itself under the exposition format).
+		if cum > 0 {
+			emitType(fam+"_approx_quantile", "gauge")
+			for _, q := range [...]struct {
+				q     float64
+				label string
+			}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}} {
+				fmt.Fprintf(w, "%s %g\n",
+					withLabel(fam+"_approx_quantile", labels, `quantile="`+q.label+`"`),
+					h.Quantile(q.q))
+			}
+		}
 	}
 }
 

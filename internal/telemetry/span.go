@@ -15,30 +15,39 @@ const PhaseSeconds = "whisper_phase_duration_seconds"
 //
 // Each End observes the span's wall time into the phase's duration
 // histogram, so /metrics exposes count, sum, and a log-bucketed
-// distribution per phase.
+// distribution per phase. While a process-wide tracer is installed
+// (InstallTracer), End additionally records the span as a Chrome trace
+// event on the main track, so the same instrumentation feeds both the
+// metrics and the trace-viewer timeline.
 type Span struct {
 	h     *Histogram
+	tb    *TraceBuffer
+	name  string
 	start time.Time
 }
 
 // StartSpan begins timing phase ("profile", "train", "simulate",
-// "cache.read", "cache.write", ...). While telemetry is disabled it
-// returns an inert span without reading the clock.
+// "cache.read", "cache.write", ...). While telemetry and tracing are
+// both disabled it returns an inert span without reading the clock.
 func StartSpan(phase string) Span {
 	r := Default()
-	if r == nil {
+	tb := Tracer()
+	if r == nil && tb == nil {
 		return Span{}
 	}
-	return Span{
-		h:     r.DurationHistogram(PhaseSeconds + `{phase="` + phase + `"}`),
-		start: time.Now(),
+	s := Span{tb: tb, name: phase, start: time.Now()}
+	if r != nil {
+		s.h = r.DurationHistogram(PhaseSeconds + `{phase="` + phase + `"}`)
 	}
+	return s
 }
 
 // End records the span's duration; safe on the zero Span.
 func (s Span) End() {
-	if s.h == nil {
+	if s.h == nil && s.tb == nil {
 		return
 	}
-	s.h.Observe(uint64(time.Since(s.start)))
+	dur := time.Since(s.start)
+	s.h.Observe(uint64(dur))
+	s.tb.Add(s.name, CatPhase, TIDMain, s.start, dur, nil)
 }
