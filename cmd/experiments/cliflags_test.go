@@ -1,0 +1,32 @@
+package main
+
+// The experiments binary shares the whisper CLI's flag vocabulary: the
+// cliflags.Common observability set and the canonical
+// -trace-file/-trace-format pair must register with exactly the shared
+// usage wording (see internal/cliflags and the twin test in
+// cmd/whisper).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/cliflags"
+)
+
+func TestExperimentsRegistersSharedFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseConfig([]string{"-definitely-not-a-flag"}, &stderr); err == nil {
+		t.Fatal("parseConfig accepted an unknown flag")
+	}
+	usage := stderr.String()
+	names := append(cliflags.CommonNames(), cliflags.TraceNames()...)
+	for _, fname := range names {
+		if !strings.Contains(usage, "-"+fname) {
+			t.Errorf("experiments does not register -%s", fname)
+		}
+		if want := cliflags.Usage()[fname]; !strings.Contains(usage, want) {
+			t.Errorf("-%s usage drifted from the canonical wording %q", fname, want)
+		}
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"github.com/whisper-sim/whisper/internal/attrib"
+	"github.com/whisper-sim/whisper/internal/cliflags"
 	"github.com/whisper-sim/whisper/internal/experiments"
 	"github.com/whisper-sim/whisper/internal/plot"
 	"github.com/whisper-sim/whisper/internal/runner"
@@ -119,19 +120,18 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	plotFlag := fs.Bool("plot", false, "render numeric columns as ASCII bar charts")
 	cacheFlag := fs.String("cache", "", "profile/hint cache directory (default: <user cache dir>/whisper-sim)")
 	noCacheFlag := fs.Bool("no-cache", false, "disable the on-disk profile/hint cache")
-	journalFlag := fs.String("journal", "", "write a JSONL run journal (manifest, per-unit events, final snapshot) to this file")
-	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	specFlag := fs.String("spec", "", "run a declarative workload spec (YAML/JSON; see docs/specs.md) instead of the paper suite")
 	validateFlag := fs.Bool("validate", false, "with -spec: parse, compile and summarize the spec without simulating")
-	traceFlag := fs.String("trace-file", "", "evaluate Whisper over an imported branch trace (see docs/traces.md) instead of the paper suite")
-	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary, or wbt")
+	ti := cliflags.TraceInput(fs)
 	attribFlag := fs.Bool("attrib", false, "run the per-branch attribution study (see docs/attribution.md) instead of the paper suite")
 	attribJSONFlag := fs.String("attrib-json", "", "with -attrib: also write the canonical report documents (JSON array) to this file")
 	attribTopFlag := fs.Int("attrib-top", 0, "with -attrib: branches/hints listed per app (0 = default 20)")
-	chromeFlag := fs.String("chrome-trace", "", "write the run's phase/window spans as Chrome trace-event JSON to this file")
+	obs := cliflags.Common(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	journalFlag, debugFlag, chromeFlag := obs.Journal, obs.DebugAddr, obs.ChromeTrace
+	traceFlag, traceFormatFlag := ti.File, ti.Format
 
 	c := &config{
 		opt:         experiments.Default(),
@@ -233,6 +233,12 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 		}
 		recs, _, err := traceio.LoadFile(*traceFlag, format)
 		if err != nil {
+			return nil, err
+		}
+		// Reject unsimulatable windows at parse time with the typed
+		// traceio errors (ErrEmptyTrace / ErrNoConditionals): an empty or
+		// conditional-free export should fail before any simulation runs.
+		if err := traceio.CheckRecords(*traceFlag, recs); err != nil {
 			return nil, err
 		}
 		c.tracePath = *traceFlag

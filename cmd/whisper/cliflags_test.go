@@ -1,0 +1,79 @@
+package main
+
+// The shared-flag contract: every subcommand registers the
+// cliflags.Common observability set, and every subcommand that accepts
+// an imported trace spells the -trace-file/-trace-format pair
+// canonically. The test drives each subcommand's real flag parser (an
+// unknown flag makes it print its defaults), so a flag renamed or
+// re-worded in one subcommand fails here instead of drifting.
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/cliflags"
+)
+
+// subcommands maps every whisper subcommand to its entry point and
+// whether it takes the canonical trace-input pair.
+var subcommands = map[string]struct {
+	run        func([]string, io.Writer, io.Writer) int
+	traceInput bool
+}{
+	"profile": {cmdProfile, true},
+	"train":   {cmdTrain, false},
+	"apply":   {cmdApply, true},
+	"oneshot": {cmdOneShot, true},
+	"report":  {cmdReport, true},
+	"convert": {cmdConvert, false}, // -i/-from name its input pair
+	"serve":   {cmdServe, false},
+	"fleet":   {cmdFleet, false},
+}
+
+// usageFor parses an unknown flag through the subcommand, capturing the
+// defaults listing its flag set prints on the error path.
+func usageFor(t *testing.T, run func([]string, io.Writer, io.Writer) int) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+	return stderr.String()
+}
+
+func TestEverySubcommandRegistersCommonFlags(t *testing.T) {
+	for name, sub := range subcommands {
+		t.Run(name, func(t *testing.T) {
+			usage := usageFor(t, sub.run)
+			for _, fname := range cliflags.CommonNames() {
+				if !strings.Contains(usage, "-"+fname) {
+					t.Errorf("%s does not register -%s", name, fname)
+				}
+				if want := cliflags.Usage()[fname]; !strings.Contains(usage, want) {
+					t.Errorf("%s: -%s usage drifted from the canonical wording %q", name, fname, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTraceInputSubcommandsUseCanonicalPair(t *testing.T) {
+	for name, sub := range subcommands {
+		t.Run(name, func(t *testing.T) {
+			usage := usageFor(t, sub.run)
+			for _, fname := range cliflags.TraceNames() {
+				has := strings.Contains(usage, "-"+fname)
+				if sub.traceInput && !has {
+					t.Errorf("%s should register -%s", name, fname)
+				}
+				if sub.traceInput {
+					if want := cliflags.Usage()[fname]; !strings.Contains(usage, want) {
+						t.Errorf("%s: -%s usage drifted from the canonical wording %q", name, fname, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -47,13 +47,13 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/whisper-sim/whisper/internal/cliflags"
 	"github.com/whisper-sim/whisper/internal/core"
 	"github.com/whisper-sim/whisper/internal/hint"
 	"github.com/whisper-sim/whisper/internal/pipeline"
 	"github.com/whisper-sim/whisper/internal/profiler"
 	"github.com/whisper-sim/whisper/internal/sim"
 	"github.com/whisper-sim/whisper/internal/store"
-	"github.com/whisper-sim/whisper/internal/telemetry"
 	"github.com/whisper-sim/whisper/internal/trace"
 	"github.com/whisper-sim/whisper/internal/traceio"
 	"github.com/whisper-sim/whisper/internal/workload"
@@ -79,27 +79,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return cmdConvert(args[1:], stdout, stderr)
 		case "report":
 			return cmdReport(args[1:], stdout, stderr)
+		case "serve":
+			return cmdServe(args[1:], stdout, stderr)
+		case "fleet":
+			return cmdFleet(args[1:], stdout, stderr)
 		}
 	}
 	return cmdOneShot(args, stdout, stderr)
-}
-
-// debugServer enables the process telemetry registry and serves
-// /metrics, /debug/vars and /debug/pprof on addr for the duration of a
-// subcommand. An empty addr is a no-op. The returned stop function is
-// always safe to defer; ok is false when the listener could not bind.
-func debugServer(addr string, stderr io.Writer) (stop func(), ok bool) {
-	if addr == "" {
-		return func() {}, true
-	}
-	telemetry.Enable()
-	srv, err := telemetry.ServeDebug(addr)
-	if err != nil {
-		fmt.Fprintf(stderr, "debug endpoint: %v\n", err)
-		return func() {}, false
-	}
-	fmt.Fprintf(stderr, "debug endpoint: http://%s/metrics\n", srv.Addr())
-	return func() { srv.Close() }, true
 }
 
 // lookupApp resolves an application name, reporting failures on stderr.
@@ -116,8 +102,10 @@ func lookupApp(name string, stderr io.Writer) *workload.App {
 const traceMetaPrefix = "trace:"
 
 // loadTrace imports an external trace file and validates there is
-// something to predict in it. It returns the records and the detected
-// format; on failure it reports to stderr and returns nil records.
+// something to predict in it (traceio.CheckRecords — an empty or
+// conditional-free window is a typed error, not an all-zero run). It
+// returns the records and the detected format; on failure it reports to
+// stderr and returns nil records.
 func loadTrace(path, format string, stderr io.Writer) ([]trace.Record, traceio.Format) {
 	f, err := traceio.ParseFormat(format)
 	if err != nil {
@@ -129,18 +117,8 @@ func loadTrace(path, format string, stderr io.Writer) ([]trace.Record, traceio.F
 		fmt.Fprintf(stderr, "reading trace: %v\n", err)
 		return nil, detected
 	}
-	if len(recs) == 0 {
-		fmt.Fprintf(stderr, "trace %s contains no records\n", path)
-		return nil, detected
-	}
-	conds := 0
-	for i := range recs {
-		if recs[i].Kind == trace.CondBranch {
-			conds++
-		}
-	}
-	if conds == 0 {
-		fmt.Fprintf(stderr, "trace %s contains no conditional branches (%d records)\n", path, len(recs))
+	if err := traceio.CheckRecords(path, recs); err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
 		return nil, detected
 	}
 	return recs, detected
@@ -148,31 +126,31 @@ func loadTrace(path, format string, stderr io.Writer) ([]trace.Record, traceio.F
 
 // cmdProfile collects a profile artifact (the in-production stage),
 // from either a synthetic application or an imported trace file.
-func cmdProfile(args []string, stdout, stderr io.Writer) int {
+func cmdProfile(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("whisper profile", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	appFlag := fs.String("app", "", "application name (see Table I)")
 	inputFlag := fs.Int("input", 0, "training input")
 	recordsFlag := fs.Int("records", 400000, "records per window")
-	traceFileFlag := fs.String("trace-file", "", "profile an imported trace file instead of a synthetic app")
-	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary or wbt")
+	ti := cliflags.TraceInput(fs)
 	outFlag := fs.String("o", "", "output artifact file (required)")
-	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	obs := cliflags.Common(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *outFlag == "" || (*appFlag == "") == (*traceFileFlag == "") {
+	if *outFlag == "" || (*appFlag == "") == (*ti.File == "") {
 		fmt.Fprintln(stderr, "whisper profile: -o and exactly one of -app or -trace-file are required")
 		return 2
 	}
-	stop, ok := debugServer(*debugFlag, stderr)
+	sess, ok := startObs(obs, "whisper profile",
+		map[string]any{"app": *appFlag, "records": *recordsFlag, "trace_file": *ti.File}, stderr)
 	if !ok {
 		return 2
 	}
-	defer stop()
+	defer func() { code = sess.CloseCode(code) }()
 
-	if *traceFileFlag != "" {
-		recs, _ := loadTrace(*traceFileFlag, *traceFormatFlag, stderr)
+	if *ti.File != "" {
+		recs, _ := loadTrace(*ti.File, *ti.Format, stderr)
 		if recs == nil {
 			return 2
 		}
@@ -183,7 +161,7 @@ func cmdProfile(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "profile: %v\n", err)
 			return 1
 		}
-		name := traceMetaPrefix + filepath.Base(*traceFileFlag)
+		name := traceMetaPrefix + filepath.Base(*ti.File)
 		art := &store.Artifact{
 			Meta: store.Meta{
 				App:     name,
@@ -231,13 +209,13 @@ func cmdProfile(args []string, stdout, stderr io.Writer) int {
 
 // cmdTrain runs formula search over a persisted profile (the offline
 // stage) and writes the hint bundle.
-func cmdTrain(args []string, stdout, stderr io.Writer) int {
+func cmdTrain(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("whisper train", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	profFlag := fs.String("profile", "", "input profile artifact (required)")
 	outFlag := fs.String("o", "", "output hint artifact (required)")
 	exploreFlag := fs.Float64("explore", 0.05, "fraction of formulas explored (>=1 is exhaustive)")
-	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	obs := cliflags.Common(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -245,11 +223,12 @@ func cmdTrain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "whisper train: -profile and -o are required")
 		return 2
 	}
-	stop, ok := debugServer(*debugFlag, stderr)
+	sess, ok := startObs(obs, "whisper train",
+		map[string]any{"profile": *profFlag, "explore": *exploreFlag}, stderr)
 	if !ok {
 		return 2
 	}
-	defer stop()
+	defer func() { code = sess.CloseCode(code) }()
 	art, err := store.ReadFile(*profFlag)
 	if err != nil {
 		fmt.Fprintf(stderr, "train: reading %s: %v\n", *profFlag, err)
@@ -282,16 +261,15 @@ func cmdTrain(args []string, stdout, stderr io.Writer) int {
 
 // cmdApply injects a persisted hint bundle into the binary and evaluates
 // it (the link-time + deployment stage).
-func cmdApply(args []string, stdout, stderr io.Writer) int {
+func cmdApply(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("whisper apply", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	hintsFlag := fs.String("hints", "", "input hint artifact (required)")
 	testFlag := fs.Int("test-input", 1, "evaluation input")
-	traceFileFlag := fs.String("trace-file", "", "the imported trace the hints were trained on (required for trace artifacts)")
-	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary or wbt")
+	ti := cliflags.TraceInput(fs)
 	warmFlag := fs.Float64("warmup", 0.3, "warm-up fraction of the measured window")
 	dumpFlag := fs.Bool("dump", false, "dump the injected brhint program")
-	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	obs := cliflags.Common(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -299,11 +277,12 @@ func cmdApply(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "whisper apply: -hints is required")
 		return 2
 	}
-	stop, ok := debugServer(*debugFlag, stderr)
+	sess, ok := startObs(obs, "whisper apply",
+		map[string]any{"hints": *hintsFlag, "trace_file": *ti.File}, stderr)
 	if !ok {
 		return 2
 	}
-	defer stop()
+	defer func() { code = sess.CloseCode(code) }()
 	art, err := store.ReadFile(*hintsFlag)
 	if err != nil {
 		fmt.Fprintf(stderr, "apply: reading %s: %v\n", *hintsFlag, err)
@@ -314,18 +293,18 @@ func cmdApply(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if strings.HasPrefix(art.Meta.App, traceMetaPrefix) {
-		if *traceFileFlag == "" {
+		if *ti.File == "" {
 			fmt.Fprintf(stderr, "apply: %s was trained on an imported trace (%s); -trace-file is required\n",
 				*hintsFlag, art.Meta.App)
 			return 2
 		}
-		recs, _ := loadTrace(*traceFileFlag, *traceFormatFlag, stderr)
+		recs, _ := loadTrace(*ti.File, *ti.Format, stderr)
 		if recs == nil {
 			return 2
 		}
 		if key := traceMetaPrefix + traceio.Fingerprint(recs); key != art.Meta.Key {
 			fmt.Fprintf(stderr, "apply: %s does not match the trace the hints were trained on (fingerprint %s, artifact %s)\n",
-				*traceFileFlag, key, art.Meta.Key)
+				*ti.File, key, art.Meta.Key)
 			return 1
 		}
 		b := sim.AssembleTraceHints(recs, art.Train, art.WindowInstrs, sim.DefaultBuildOptions())
@@ -354,7 +333,7 @@ func cmdApply(args []string, stdout, stderr io.Writer) int {
 
 // cmdOneShot is the fused flow: profile, train, inject and evaluate in
 // one process.
-func cmdOneShot(args []string, stdout, stderr io.Writer) int {
+func cmdOneShot(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("whisper", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	appFlag := fs.String("app", "mysql", "application name (see Table I) or 'list'")
@@ -364,19 +343,19 @@ func cmdOneShot(args []string, stdout, stderr io.Writer) int {
 	exploreFlag := fs.Float64("explore", 0.05, "fraction of formulas explored (>=1 is exhaustive)")
 	traceFlag := fs.String("trace", "", "write the training trace to this file")
 	fromTraceFlag := fs.String("from-trace", "", "simulate the baseline over a previously exported trace file and exit")
-	traceFileFlag := fs.String("trace-file", "", "run the whole flow over an imported trace file instead of a synthetic app")
-	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary or wbt")
+	ti := cliflags.TraceInput(fs)
 	hintsFlag := fs.Bool("hints", false, "dump the injected brhint program")
 	warmFlag := fs.Float64("warmup", 0.3, "warm-up fraction of the measured window")
-	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	obs := cliflags.Common(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	stop, ok := debugServer(*debugFlag, stderr)
+	sess, ok := startObs(obs, "whisper",
+		map[string]any{"app": *appFlag, "records": *recordsFlag, "trace_file": *ti.File}, stderr)
 	if !ok {
 		return 2
 	}
-	defer stop()
+	defer func() { code = sess.CloseCode(code) }()
 
 	if *fromTraceFlag != "" {
 		if err := simulateTrace(stdout, *fromTraceFlag, *warmFlag); err != nil {
@@ -386,12 +365,12 @@ func cmdOneShot(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	if *traceFileFlag != "" {
-		recs, _ := loadTrace(*traceFileFlag, *traceFormatFlag, stderr)
+	if *ti.File != "" {
+		recs, _ := loadTrace(*ti.File, *ti.Format, stderr)
 		if recs == nil {
 			return 2
 		}
-		name := traceMetaPrefix + filepath.Base(*traceFileFlag)
+		name := traceMetaPrefix + filepath.Base(*ti.File)
 		fmt.Fprintf(stdout, "== %s: profiling imported trace (%d records) ==\n", name, len(recs))
 		bopt := sim.DefaultBuildOptions()
 		bopt.Records = len(recs)
@@ -517,13 +496,14 @@ func printTraceEvaluation(w io.Writer, recs []trace.Record, b *sim.WhisperBuild,
 }
 
 // cmdConvert transcodes a trace file between the interchange formats.
-func cmdConvert(args []string, stdout, stderr io.Writer) int {
+func cmdConvert(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("whisper convert", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	inFlag := fs.String("i", "", "input trace file (required)")
 	outFlag := fs.String("o", "", "output trace file (required)")
 	fromFlag := fs.String("from", "auto", "input format: auto, text, binary or wbt")
 	toFlag := fs.String("to", "", "output format: text, binary or wbt (required)")
+	obs := cliflags.Common(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -531,6 +511,12 @@ func cmdConvert(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "whisper convert: -i, -o and -to are required")
 		return 2
 	}
+	sess, ok := startObs(obs, "whisper convert",
+		map[string]any{"in": *inFlag, "to": *toFlag}, stderr)
+	if !ok {
+		return 2
+	}
+	defer func() { code = sess.CloseCode(code) }()
 	from, err := traceio.ParseFormat(*fromFlag)
 	if err != nil {
 		fmt.Fprintf(stderr, "convert: %v\n", err)
@@ -637,17 +623,8 @@ func simulateTrace(w io.Writer, path string, warmFrac float64) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
-	if len(recs) == 0 {
-		return fmt.Errorf("trace %s contains no records", path)
-	}
-	conds := 0
-	for i := range recs {
-		if recs[i].Kind == trace.CondBranch {
-			conds++
-		}
-	}
-	if conds == 0 {
-		return fmt.Errorf("trace %s contains no conditional branches (%d records)", path, len(recs))
+	if err := traceio.CheckRecords(path, recs); err != nil {
+		return err
 	}
 	res := pipeline.Run(trace.NewSliceStream(recs), sim.Tage64KB(), pipeline.Options{
 		Config:        pipeline.DefaultConfig(),

@@ -1,0 +1,135 @@
+package main
+
+// Shared observability bootstrap: every whisper subcommand registers
+// the cliflags.Common set (-journal, -debug-addr, -chrome-trace) and
+// activates it through startObs, so the flags mean exactly the same
+// thing everywhere — the same JSONL journal schema, the same debug
+// endpoints, the same Chrome trace-event export cmd/experiments ships
+// (see docs/observability.md).
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"github.com/whisper-sim/whisper/internal/cliflags"
+	"github.com/whisper-sim/whisper/internal/telemetry"
+)
+
+// obsSession is the live observability state of one subcommand run.
+// Close (usually deferred) unwinds it: spans and the final snapshot go
+// to the journal, files are flushed, the debug listener stops, and the
+// previous process-wide registry/tracer are restored.
+type obsSession struct {
+	Journal *telemetry.Journal
+
+	journalFile *os.File
+	journalPath string
+	tracebuf    *telemetry.TraceBuffer
+	chromePath  string
+	stderr      io.Writer
+	closers     []func() // LIFO
+}
+
+// startObs activates the -journal/-debug-addr/-chrome-trace surface for
+// one subcommand. tool names the run in the journal manifest ("whisper
+// profile", ...); cfg carries the subcommand's key flags into the
+// manifest. ok is false when a listener or file could not be opened —
+// the caller should exit 2 (the session is already unwound).
+func startObs(o cliflags.Obs, tool string, cfg map[string]any, stderr io.Writer) (*obsSession, bool) {
+	s := &obsSession{stderr: stderr}
+	// A journal or debug endpoint needs the process-wide registry; a
+	// fresh one scopes the final snapshot to exactly this run.
+	if *o.Journal != "" || *o.DebugAddr != "" {
+		prev := telemetry.Default()
+		telemetry.Install(telemetry.NewRegistry())
+		s.closers = append(s.closers, func() { telemetry.Install(prev) })
+	}
+	// Tracer before journal: the journal's close writes the spans the
+	// tracer gathered.
+	if *o.ChromeTrace != "" {
+		s.tracebuf = telemetry.NewTraceBuffer()
+		s.chromePath = *o.ChromeTrace
+		prev := telemetry.InstallTracer(s.tracebuf)
+		s.closers = append(s.closers, func() { telemetry.InstallTracer(prev) })
+	}
+	if *o.DebugAddr != "" {
+		srv, err := telemetry.ServeDebug(*o.DebugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "debug endpoint: %v\n", err)
+			s.unwind()
+			return nil, false
+		}
+		fmt.Fprintf(stderr, "debug endpoint: http://%s/metrics\n", srv.Addr())
+		s.closers = append(s.closers, func() { srv.Close() })
+	}
+	if *o.Journal != "" {
+		f, err := os.Create(*o.Journal)
+		if err != nil {
+			fmt.Fprintf(stderr, "journal: %v\n", err)
+			s.unwind()
+			return nil, false
+		}
+		s.journalFile = f
+		s.journalPath = *o.Journal
+		s.Journal = telemetry.NewJournal(f)
+		s.Journal.WriteManifest(telemetry.Manifest{
+			Tool:       tool,
+			Go:         runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Config:     cfg,
+		})
+	}
+	return s, true
+}
+
+// unwind runs the accumulated closers newest-first.
+func (s *obsSession) unwind() {
+	for i := len(s.closers) - 1; i >= 0; i-- {
+		s.closers[i]()
+	}
+	s.closers = nil
+}
+
+// Close finalizes the session and returns a non-zero exit code when an
+// export failed (0 otherwise). Safe to call once, usually as
+//
+//	defer func() { code = sess.CloseCode(code) }()
+func (s *obsSession) Close() int {
+	code := 0
+	if s.Journal != nil {
+		s.Journal.WriteTraceSpans(s.tracebuf)
+		s.Journal.WriteSnapshot(telemetry.Default())
+		if err := s.Journal.Err(); err != nil {
+			fmt.Fprintf(s.stderr, "journal: %v\n", err)
+			code = 1
+		}
+		if err := s.journalFile.Close(); err != nil && code == 0 {
+			fmt.Fprintf(s.stderr, "journal: %v\n", err)
+			code = 1
+		}
+		if code == 0 {
+			fmt.Fprintf(s.stderr, "wrote journal to %s\n", s.journalPath)
+		}
+	}
+	if s.tracebuf != nil {
+		if err := writeChromeTrace(s.chromePath, s.tracebuf); err != nil {
+			fmt.Fprintf(s.stderr, "chrome trace: %v\n", err)
+			code = 1
+		} else {
+			fmt.Fprintf(s.stderr, "wrote Chrome trace to %s (load in about://tracing or Perfetto)\n", s.chromePath)
+		}
+	}
+	s.unwind()
+	return code
+}
+
+// CloseCode folds Close's exit code into a subcommand's: the export
+// failure surfaces unless the run already failed harder.
+func (s *obsSession) CloseCode(code int) int {
+	if c := s.Close(); code == 0 {
+		return c
+	}
+	return code
+}

@@ -24,6 +24,7 @@ import (
 
 	"github.com/whisper-sim/whisper/internal/attrib"
 	"github.com/whisper-sim/whisper/internal/classify"
+	"github.com/whisper-sim/whisper/internal/cliflags"
 	"github.com/whisper-sim/whisper/internal/pipeline"
 	"github.com/whisper-sim/whisper/internal/sim"
 	"github.com/whisper-sim/whisper/internal/telemetry"
@@ -38,7 +39,7 @@ const reportBaselineName = "tage-scl-64kb"
 const reportWhisperName = "whisper+tage-scl-64kb"
 
 // cmdReport builds and prints the attribution report for one workload.
-func cmdReport(args []string, stdout, stderr io.Writer) int {
+func cmdReport(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("whisper report", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	appFlag := fs.String("app", "mysql", "application name (see Table I)")
@@ -46,35 +47,29 @@ func cmdReport(args []string, stdout, stderr io.Writer) int {
 	inputFlag := fs.Int("input", 0, "training input")
 	testFlag := fs.Int("test-input", 1, "evaluation input")
 	exploreFlag := fs.Float64("explore", 0.05, "fraction of formulas explored (>=1 is exhaustive)")
-	traceFileFlag := fs.String("trace-file", "", "attribute an imported trace file instead of a synthetic app")
-	traceFormatFlag := fs.String("trace-format", "auto", "imported trace format: auto, text, binary or wbt")
+	ti := cliflags.TraceInput(fs)
 	warmFlag := fs.Float64("warmup", 0.3, "warm-up fraction of the measured window")
 	topFlag := fs.Int("top", 20, "branches listed in the attribution table")
 	topHintsFlag := fs.Int("top-hints", 20, "hints listed in the scoreboard")
 	classesFlag := fs.Bool("classes", true, "attach each branch's dominant misprediction class (one extra classification pass)")
 	jsonFlag := fs.String("json", "", "also write the canonical report JSON to this file")
-	chromeFlag := fs.String("chrome-trace", "", "write the run's phase/window spans as Chrome trace-event JSON to this file")
 	blockFlag := fs.Int("block", 0, "pipeline record-block size (0 = batched default, <0 = scalar reference)")
 	simJFlag := fs.Int("sim-j", 0, "windowed-engine goroutines per simulation (<=1 = off)")
 	simWindowFlag := fs.Int("sim-window", 0, "windowed-engine window length in records (0 = default)")
-	debugFlag := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	obs := cliflags.Common(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	stop, ok := debugServer(*debugFlag, stderr)
+	// The session's tracer observes every span from here on (-journal
+	// and -chrome-trace both consume them).
+	sess, ok := startObs(obs, "whisper report",
+		map[string]any{"app": *appFlag, "records": *recordsFlag, "trace_file": *ti.File}, stderr)
 	if !ok {
 		return 2
 	}
-	defer stop()
-
-	// The tracer observes every span from here on; the replay-length
-	// quantiles need a registry when the windowed engine runs.
-	var tb *telemetry.TraceBuffer
-	if *chromeFlag != "" {
-		tb = telemetry.NewTraceBuffer()
-		prev := telemetry.InstallTracer(tb)
-		defer telemetry.InstallTracer(prev)
-	}
+	defer func() { code = sess.CloseCode(code) }()
+	// The replay-length quantiles need a registry when the windowed
+	// engine runs.
 	if *simJFlag > 1 && telemetry.Default() == nil {
 		prev := telemetry.Install(telemetry.NewRegistry())
 		defer telemetry.Install(prev)
@@ -86,12 +81,12 @@ func cmdReport(args []string, stdout, stderr io.Writer) int {
 	var recs []trace.Record
 	var workload string
 	var b *sim.WhisperBuild
-	if *traceFileFlag != "" {
-		recs, _ = loadTrace(*traceFileFlag, *traceFormatFlag, stderr)
+	if *ti.File != "" {
+		recs, _ = loadTrace(*ti.File, *ti.Format, stderr)
 		if recs == nil {
 			return 2
 		}
-		workload = traceMetaPrefix + filepath.Base(*traceFileFlag)
+		workload = traceMetaPrefix + filepath.Base(*ti.File)
 		bopt := sim.DefaultBuildOptions()
 		bopt.Records = len(recs)
 		bopt.Params.ExploreFraction = *exploreFlag
@@ -185,13 +180,6 @@ func cmdReport(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stderr, "wrote report JSON to %s\n", *jsonFlag)
-	}
-	if *chromeFlag != "" {
-		if err := writeChromeTrace(*chromeFlag, tb); err != nil {
-			fmt.Fprintf(stderr, "report: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "wrote Chrome trace to %s (load in about://tracing or Perfetto)\n", *chromeFlag)
 	}
 	return 0
 }

@@ -44,8 +44,11 @@ type ImportedTrace struct {
 // and the trained bundle under the profile's content fingerprint.
 func RunImportedTrace(opt Options, name string, recs []trace.Record) (*ImportedTrace, error) {
 	opt = opt.normalize()
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("experiments: trace %s contains no records", name)
+	// Typed rejection (traceio.ErrEmptyTrace / ErrNoConditionals under
+	// errors.Is): an unsimulatable window almost always means a broken
+	// export, and the caller should say so actionably.
+	if err := traceio.CheckRecords(name, recs); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	static := 0
 	{
@@ -56,9 +59,6 @@ func RunImportedTrace(opt Options, name string, recs []trace.Record) (*ImportedT
 			}
 		}
 		static = len(pcs)
-	}
-	if static == 0 {
-		return nil, fmt.Errorf("experiments: trace %s contains no conditional branches", name)
 	}
 	fp := traceio.Fingerprint(recs)
 

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/whisper-sim/whisper/internal/store"
 	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/traceio"
 	"github.com/whisper-sim/whisper/internal/workload"
 )
 
@@ -177,16 +180,24 @@ func TestImportedTraceWarmRerun(t *testing.T) {
 }
 
 // TestImportedTraceRejectsDegenerate: empty traces and traces without
-// conditional branches are rejected with a descriptive error.
+// conditional branches are rejected with the typed traceio errors, so
+// callers can dispatch on errors.Is instead of matching message text.
 func TestImportedTraceRejectsDegenerate(t *testing.T) {
-	if _, err := RunImportedTrace(Default(), "empty", nil); err == nil {
-		t.Fatal("empty trace accepted")
+	_, err := RunImportedTrace(Default(), "empty", nil)
+	if !errors.Is(err, traceio.ErrEmptyTrace) {
+		t.Fatalf("empty trace: err = %v, want traceio.ErrEmptyTrace", err)
 	}
 	uncond := []trace.Record{
 		{PC: 0x10, Target: 0x40, Kind: trace.Call, Taken: true, Instrs: 4},
 		{PC: 0x44, Target: 0x14, Kind: trace.Return, Taken: true, Instrs: 4},
 	}
-	if _, err := RunImportedTrace(Default(), "uncond", uncond); err == nil {
-		t.Fatal("cond-free trace accepted")
+	_, err = RunImportedTrace(Default(), "uncond", uncond)
+	if !errors.Is(err, traceio.ErrNoConditionals) {
+		t.Fatalf("cond-free trace: err = %v, want traceio.ErrNoConditionals", err)
+	}
+	// The message stays actionable (it tells the operator what to do),
+	// not just typed.
+	if !strings.Contains(err.Error(), "uncond") || !strings.Contains(err.Error(), "re-export") {
+		t.Fatalf("unhelpful rejection: %v", err)
 	}
 }

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/whisper-sim/whisper/internal/server"
+	"github.com/whisper-sim/whisper/internal/trace"
+	"github.com/whisper-sim/whisper/internal/traceio"
+	"github.com/whisper-sim/whisper/internal/workload"
+)
+
+// collectFor draws one shard's records from the catalog.
+func collectFor(tb testing.TB, app string, input, n int) []trace.Record {
+	tb.Helper()
+	a := workload.AppByName(app)
+	if a == nil {
+		tb.Fatalf("unknown app %q", app)
+	}
+	return collect(a.Stream(input, n))
+}
+
+func encodeFor(tb testing.TB, recs []trace.Record) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := traceio.WriteAll(&buf, traceio.FormatBinary, recs); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// startDaemon brings up an in-process hint daemon shaped like the test
+// fleet expects: small windows, a threshold that app switches cross.
+func startDaemon(tb testing.TB) *httptest.Server {
+	tb.Helper()
+	s, err := server.NewServer(server.Config{
+		Dir:               tb.TempDir(),
+		DriftThreshold:    0.9,
+		MinRetrainRecords: 1000,
+	})
+	if err != nil {
+		tb.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFleetAgainstDaemon runs the whole driver loop against a live
+// in-process daemon: every tenant streams shards, switches application
+// mid-stream (forcing a drift retrain), and hot-reloads bundles through
+// the ETag protocol.
+func TestFleetAgainstDaemon(t *testing.T) {
+	ts := startDaemon(t)
+	// SwitchAt 1: the first post-switch window is purely the new app,
+	// so its drift (~0.99 cross-app) crisply crosses the 0.9 test
+	// threshold. (Later switches dilute the window with pre-switch
+	// shards and drift climbs more gradually.)
+	rep, err := Run(Config{
+		BaseURL:      ts.URL,
+		Client:       ts.Client(),
+		Tenants:      3,
+		Shards:       4,
+		ShardRecords: 3000,
+		Apps:         []string{"clang", "python", "kafka"},
+		SwitchAt:     1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got, want := rep.Shards, 3*4; got != want {
+		t.Fatalf("shards = %d, want %d", got, want)
+	}
+	if rep.Records != 3*4*3000 {
+		t.Fatalf("records = %d", rep.Records)
+	}
+	for _, tr := range rep.Tenants {
+		// v1 on the first shard, plus at least one drift retrain at the
+		// app switch.
+		if tr.Retrains < 2 {
+			t.Errorf("%s: %d retrains, want >= 2 (initial + drift)", tr.Tenant, tr.Retrains)
+		}
+		// Every new version was hot-reloaded exactly once; every other
+		// poll came back 304.
+		if tr.Reloads != tr.Retrains {
+			t.Errorf("%s: %d reloads != %d retrains", tr.Tenant, tr.Reloads, tr.Retrains)
+		}
+		if tr.Reloads+tr.NotModified != tr.Shards {
+			t.Errorf("%s: reloads %d + notModified %d != shards %d",
+				tr.Tenant, tr.Reloads, tr.NotModified, tr.Shards)
+		}
+		if tr.NotModified == 0 {
+			t.Errorf("%s: no 304s — ETag polling is not saving transfers", tr.Tenant)
+		}
+		if tr.FinalVersion < 2 || tr.FinalETag == "" {
+			t.Errorf("%s: final bundle v%d etag %q", tr.Tenant, tr.FinalVersion, tr.FinalETag)
+		}
+	}
+	if rep.NotModified == 0 || rep.Retrains < 6 {
+		t.Fatalf("aggregate: %+v", rep)
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("Run accepted empty BaseURL")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", Apps: []string{"not-a-real-app"}}); err == nil {
+		t.Fatal("Run accepted an unknown app")
+	}
+}
+
+func TestFleetDefaultsUseCatalog(t *testing.T) {
+	cfg, err := (&Config{BaseURL: "http://x"}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Apps) == 0 || cfg.Tenants != 4 || cfg.Shards != 8 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.SwitchAt != 4 {
+		t.Fatalf("SwitchAt default = %d, want Shards/2", cfg.SwitchAt)
+	}
+	if cfg.Format != traceio.FormatBinary {
+		t.Fatalf("format default = %v", cfg.Format)
+	}
+}
+
+// BenchmarkFleetShardRoundTrip measures the serving path end to end:
+// one tenant uploading one shard and polling the bundle (usually 304).
+func BenchmarkFleetShardRoundTrip(b *testing.B) {
+	ts := startDaemon(b)
+	cfg, err := (&Config{
+		BaseURL:      ts.URL,
+		Client:       ts.Client(),
+		ShardRecords: 2000,
+		Apps:         []string{"kafka"},
+		SwitchAt:     -1,
+	}).withDefaults()
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := collectFor(b, "kafka", 0, cfg.ShardRecords)
+	body := encodeFor(b, recs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := postShard(&cfg, "bench", body); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, _, err := fetchBundle(&cfg, "bench", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

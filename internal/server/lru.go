@@ -1,0 +1,79 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// bundleCache is a size-bounded LRU over encoded bundle bytes, keyed by
+// content fingerprint (the bundle ETag). The artifact directory is the
+// durable tier underneath it: a cache miss re-reads the bundle file, so
+// the cache bounds memory, never availability. Entries are immutable
+// (content-addressed), which is what makes handing the cached slice to
+// concurrent responses safe.
+type bundleCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// newBundleCache builds a cache holding at most capacity bundles
+// (capacity <= 0 disables caching; every get is a miss).
+func newBundleCache(capacity int) *bundleCache {
+	return &bundleCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached bytes for key, promoting the entry to
+// most-recently-used.
+func (c *bundleCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put inserts (or refreshes) key, evicting from the least-recently-used
+// end until the capacity bound holds.
+func (c *bundleCache) put(key string, data []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns the hit/miss counters and the live entry count.
+func (c *bundleCache) stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBundleCacheEviction(t *testing.T) {
+	c := newBundleCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	// Touch a so b is the LRU victim.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction past capacity")
+	}
+	if got, ok := c.get("a"); !ok || !bytes.Equal(got, []byte("A")) {
+		t.Fatal("a evicted out of LRU order")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	hits, misses, entries := c.stats()
+	if entries != 2 {
+		t.Fatalf("entries = %d, want 2", entries)
+	}
+	if hits != 3 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+}
+
+func TestBundleCacheRefresh(t *testing.T) {
+	c := newBundleCache(1)
+	c.put("a", []byte("old"))
+	c.put("a", []byte("new"))
+	got, ok := c.get("a")
+	if !ok || string(got) != "new" {
+		t.Fatalf("refresh: got %q ok=%v", got, ok)
+	}
+	if _, _, entries := c.stats(); entries != 1 {
+		t.Fatal("refresh duplicated the entry")
+	}
+}
+
+func TestBundleCacheDisabled(t *testing.T) {
+	c := newBundleCache(0)
+	c.put("a", []byte("A"))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestBundleCacheConcurrent(t *testing.T) {
+	c := newBundleCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				c.put(key, []byte(key))
+				if data, ok := c.get(key); ok && string(data) != key {
+					t.Errorf("key %s returned %q", key, data)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,86 @@
+package store
+
+// Concurrent cache access: the hint daemon and the experiments driver
+// can share one content-addressed cache directory, from one process or
+// several. WriteFile's temp-file-plus-rename commit means a reader sees
+// either a miss or a complete artifact, never a torn one; this test
+// locks that in under -race with readers and writers hammering the same
+// keys through two Cache handles over the same directory (the
+// two-process shape in miniature).
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCacheConcurrentReadWrite(t *testing.T) {
+	dir := t.TempDir()
+	writerCache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readerCache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 8
+	const rounds = 40
+	prof := testProfile()
+	tr := testTrain()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("key-%d", k)
+				if err := writerCache.SaveProfile(key, Meta{App: "mysql", Records: 60000}, prof); err != nil {
+					t.Errorf("SaveProfile %s: %v", key, err)
+				}
+				if err := writerCache.SaveTrain(key, Meta{App: "mysql"}, tr, 345678); err != nil {
+					t.Errorf("SaveTrain %s: %v", key, err)
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("key-%d", k)
+				// A miss (not yet written) is fine; a hit must decode to
+				// exactly what the writer stores — never a torn artifact.
+				if got, ok := readerCache.LoadProfile(key); ok {
+					if got.Records != prof.Records || got.Instrs != prof.Instrs {
+						t.Errorf("LoadProfile %s: torn read %+v", key, got)
+					}
+				}
+				if got, ok := readerCache.LoadTrain(key); ok {
+					if !reflect.DeepEqual(got.Hints, tr.Hints) {
+						t.Errorf("LoadTrain %s: torn read", key)
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The directory is fully written now: every key must hit through
+	// either handle, and nothing was rejected as damaged.
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		if _, ok := readerCache.LoadProfile(key); !ok {
+			t.Errorf("profile %s missing after the storm", key)
+		}
+		if _, ok := writerCache.LoadTrain(key); !ok {
+			t.Errorf("train %s missing after the storm", key)
+		}
+	}
+	if rej := readerCache.Stats().Rejected + writerCache.Stats().Rejected; rej != 0 {
+		t.Errorf("%d artifacts rejected as damaged during concurrent access", rej)
+	}
+}

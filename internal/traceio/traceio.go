@@ -223,6 +223,43 @@ func WriteAll(w io.Writer, format Format, recs []trace.Record) error {
 	return enc.Close()
 }
 
+// Window-content failures. A trace that decodes cleanly can still be
+// useless to the profiling/attribution pipeline: an empty window or one
+// without a single conditional branch almost always means a broken
+// export, so consumers reject it with a typed, actionable error instead
+// of producing an all-zero table (the same stance the -from-trace guard
+// takes on legacy WBT files).
+var (
+	// ErrEmptyTrace means the decoded window holds no records at all.
+	ErrEmptyTrace = errors.New("traceio: trace window contains no records")
+	// ErrNoConditionals means the window holds records but not one
+	// conditional branch, so there is nothing to predict, profile, or
+	// attribute.
+	ErrNoConditionals = errors.New("traceio: trace window contains no conditional branches")
+)
+
+// CheckRecords validates that a decoded window is simulatable: non-empty
+// and containing at least one conditional branch. The name argument
+// labels the window in the error ("" for an anonymous one). Errors wrap
+// ErrEmptyTrace or ErrNoConditionals for errors.Is dispatch and carry a
+// remedy the operator can act on.
+func CheckRecords(name string, recs []trace.Record) error {
+	prefix := ""
+	if name != "" {
+		prefix = name + ": "
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s%w: re-export the trace or widen the capture window", prefix, ErrEmptyTrace)
+	}
+	for i := range recs {
+		if recs[i].Kind == trace.CondBranch {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s%w (%d records): the exporter likely dropped branch kinds; re-export with conditional branches included",
+		prefix, ErrNoConditionals, len(recs))
+}
+
 // Fingerprint returns a stable content hash of a record sequence (the
 // SHA-256 of its canonical binary encoding), used to key disk-cached
 // work derived from imported traces.

@@ -17,9 +17,11 @@
 //     cmd/experiments binary).
 //
 // Implementation packages live under internal/; the exports here are the
-// supported surface. The v1 entry points (bare BuildOptions, the
-// package-level Evaluate/EvaluateWith/Measure) remain as thin deprecated
-// wrappers, so both API generations compile side by side.
+// supported surface. The functional-options generation is the only API:
+// the v1 entry points (bare BuildOptions, the package-level
+// Evaluate/EvaluateWith/Measure) were removed after a deprecation cycle —
+// measure a bare predictor by reading Evaluation.Baseline from a Build
+// configured with WithPredictor.
 package whisper
 
 import (
@@ -199,23 +201,6 @@ func WithTelemetry(r *Registry) Option {
 	return optionFunc(func(c *config) { c.metrics = r })
 }
 
-// BuildOptions parameterize Optimize as one plain struct.
-//
-// Deprecated: this is the v1 configuration surface. It still compiles —
-// the struct implements Option by replacing the build stage's
-// configuration wholesale — but new code should pass functional options
-// (WithRecords, WithParams, WithPredictor, ...) to Optimize directly.
-type BuildOptions sim.BuildOptions
-
-func (o BuildOptions) apply(c *config) { c.build = sim.BuildOptions(o) }
-
-// DefaultBuildOptions mirrors the paper's setup: profile input #0 under a
-// 64KB TAGE-SC-L with the Table III parameters.
-//
-// Deprecated: Optimize applies these defaults on its own; only v1-style
-// callers that mutate BuildOptions fields need this constructor.
-func DefaultBuildOptions() BuildOptions { return BuildOptions(sim.DefaultBuildOptions()) }
-
 // installMetrics swaps r in as the process metrics registry and returns
 // the restore function (a no-op for nil).
 func installMetrics(r *telemetry.Registry) func() {
@@ -348,46 +333,3 @@ func Save(path string, b *Build) error {
 // re-injected into a binary without the profile (Fig 10's
 // "apply-only" arrow).
 func Load(path string) (*Artifact, error) { return store.ReadFile(path) }
-
-// --- deprecated v1 evaluation surface ---------------------------------
-
-// Evaluate measures a build on the given input with records records and
-// warmupFrac of them used to warm structures before measuring. The
-// baseline (and the predictor underneath Whisper) is the paper's 64KB
-// TAGE-SC-L; use EvaluateWith for other baselines.
-//
-// Deprecated: use the Build.Evaluate method, which reuses the baseline,
-// machine and warmup configured at Optimize time.
-func Evaluate(b *Build, app *App, input, records int, warmupFrac float64) *Evaluation {
-	return EvaluateWith(b, app, input, records, warmupFrac, nil)
-}
-
-// EvaluateWith is Evaluate with a custom baseline predictor factory (used
-// both standalone and underneath the Whisper runtime). A nil factory
-// selects the 64KB TAGE-SC-L.
-//
-// Deprecated: pass WithPredictor to Optimize and use Build.Evaluate.
-func EvaluateWith(b *Build, app *App, input, records int, warmupFrac float64, baseline func() Predictor) *Evaluation {
-	eb := *b
-	eb.app = app
-	eb.cfg.warmup = warmupFrac
-	eb.cfg.build.Records = records
-	if baseline != nil {
-		eb.cfg.build.Baseline = sim.PredictorFactory(baseline)
-	} else {
-		eb.cfg.build.Baseline = sim.Tage64KB
-	}
-	return eb.Evaluate(input, records)
-}
-
-// Measure runs any predictor over an application input and returns the
-// pipeline result (IPC, MPKI, cycle attribution).
-//
-// Deprecated: v1 surface, kept for compatibility; it is a thin wrapper
-// over the internal simulator with the default machine.
-func Measure(app *App, input, records int, pred Predictor, warmupFrac float64) Result {
-	return sim.RunApp(app, input, records, pred, pipeline.Options{
-		Config:        pipeline.DefaultConfig(),
-		WarmupRecords: uint64(float64(records) * warmupFrac),
-	})
-}

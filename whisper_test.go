@@ -50,30 +50,36 @@ func TestOptionsAPIEndToEnd(t *testing.T) {
 	}
 }
 
-// TestOptionsMatchV1 locks the compatibility contract: the same
-// configuration expressed through v1 BuildOptions and through v2
-// functional options produces bit-identical builds and evaluations.
-func TestOptionsMatchV1(t *testing.T) {
+// TestExplicitDefaultsMatchImplicit locks the defaulting contract the v1
+// compatibility test used to cover: spelling out every default through
+// the functional options produces bit-identical builds and evaluations
+// to a bare Optimize call.
+func TestExplicitDefaultsMatchImplicit(t *testing.T) {
 	app := AppByName("kafka")
 	const n = 60000
 
-	opt := DefaultBuildOptions()
-	opt.Records = n
-	v1, err := Optimize(app, opt) // BuildOptions itself is an Option
+	explicit, err := Optimize(app,
+		WithRecords(n),
+		WithParams(DefaultParams()),
+		WithPredictor(func() Predictor { return NewTageSCL(64) }),
+		WithTrainInput(0),
+		WithMachine(DefaultMachine()),
+		WithWarmup(0.3),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := Optimize(app, WithRecords(n))
+	implicit, err := Optimize(app, WithRecords(n))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(v1.Train.Hints, v2.Train.Hints) {
-		t.Fatal("v1 and v2 builds diverge")
+	if !reflect.DeepEqual(explicit.Train.Hints, implicit.Train.Hints) {
+		t.Fatal("explicit and implicit builds diverge")
 	}
-	e1 := Evaluate(v1, app, 1, n, 0.3)
-	e2 := v2.Evaluate(1, n)
+	e1 := explicit.Evaluate(1, n)
+	e2 := implicit.Evaluate(1, n)
 	if e1.Baseline != e2.Baseline || e1.Whisper != e2.Whisper {
-		t.Fatalf("v1 evaluation %+v != v2 %+v", e1, e2)
+		t.Fatalf("explicit evaluation %+v != implicit %+v", e1, e2)
 	}
 }
 
@@ -105,13 +111,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if app == nil {
 		t.Fatal("mysql app missing")
 	}
-	opt := DefaultBuildOptions()
-	opt.Records = 120000
-	b, err := Optimize(app, opt)
+	b, err := Optimize(app, WithRecords(120000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev := Evaluate(b, app, 1, 120000, 0.3)
+	ev := b.Evaluate(1, 120000)
 	if ev.Reduction() <= 0 {
 		t.Fatalf("public API reduction %v", ev.Reduction())
 	}
@@ -133,11 +137,24 @@ func TestPublicAppCatalog(t *testing.T) {
 	}
 }
 
+// measureBaseline runs a bare predictor over one input through the
+// supported surface: configure it as the baseline with WithPredictor and
+// read Evaluation.Baseline (the standalone run of exactly that
+// predictor). This is the replacement for the removed v1 Measure.
+func measureBaseline(t *testing.T, app *App, p func() Predictor, records int, warmup float64) Result {
+	t.Helper()
+	b, err := Optimize(app, WithRecords(records), WithWarmup(warmup), WithPredictor(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Evaluate(0, records).Baseline
+}
+
 func TestPublicPredictors(t *testing.T) {
 	app := AppByName("kafka")
-	base := Measure(app, 0, 40000, NewTageSCL(64), 0.25)
-	ideal := Measure(app, 0, 40000, NewOracle(), 0.25)
-	unlimited := Measure(app, 0, 40000, NewMTageSC(), 0.25)
+	base := measureBaseline(t, app, func() Predictor { return NewTageSCL(64) }, 40000, 0.25)
+	ideal := measureBaseline(t, app, NewOracle, 40000, 0.25)
+	unlimited := measureBaseline(t, app, NewMTageSC, 40000, 0.25)
 	if ideal.CondMisp != 0 {
 		t.Fatal("oracle mispredicted")
 	}
@@ -160,7 +177,7 @@ func TestPublicCustomApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Measure(app, 0, 20000, NewTageSCL(64), 0)
+	res := measureBaseline(t, app, func() Predictor { return NewTageSCL(64) }, 20000, 0)
 	if res.CondExecs == 0 {
 		t.Fatal("custom app produced no branches")
 	}
